@@ -1,0 +1,71 @@
+"""Ablation A3 — MobileNet's width multiplier: the knob the model selector turns.
+
+Section IV.A.2: "The two hyper-parameters that Google introduced allow
+the model builder to choose the right sized model for the specific
+application."  The bench sweeps the width multiplier, trains each
+variant, and profiles accuracy / parameters / latency on a Raspberry
+Pi-class device — the accuracy-latency frontier the model zoo populates
+and the selector searches.
+
+Expected shape: parameters and latency grow monotonically with the
+multiplier while accuracy saturates, so the latency-optimal feasible
+point sits at an intermediate width rather than the largest model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.eialgorithms import build_mobilenet
+from repro.hardware import get_device, make_profiler
+from repro.nn.optimizers import Adam
+
+WIDTHS = (0.25, 0.5, 1.0, 1.5)
+
+
+def test_ablation_mobilenet_width_sweep(benchmark, vision_dataset):
+    device = get_device("raspberry-pi-3")
+    profiler = make_profiler("openei-lite")
+
+    def sweep():
+        points = []
+        for width in WIDTHS:
+            model = build_mobilenet((16, 16, 1), 3, width_multiplier=width, seed=0,
+                                    name=f"mobilenet-{width:g}x")
+            model.fit(vision_dataset.x_train, vision_dataset.y_train, epochs=4,
+                      batch_size=16, optimizer=Adam(0.005))
+            accuracy = model.evaluate(vision_dataset.x_test, vision_dataset.y_test)[1]
+            profile = profiler.profile(model, (16, 16, 1), device)
+            points.append({
+                "width": width,
+                "accuracy": accuracy,
+                "params": model.param_count(),
+                "latency_s": profile.latency_s,
+                "energy_j": profile.energy_j,
+            })
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "Ablation A3 — MobileNet width multiplier sweep on raspberry-pi-3",
+        f"{'width':>6s} {'accuracy':>9s} {'params':>9s} {'lat(ms)':>9s} {'energy(J)':>10s}",
+        [
+            f"{p['width']:>6.2f} {p['accuracy']:>9.3f} {p['params']:>9d} "
+            f"{p['latency_s'] * 1e3:>9.2f} {p['energy_j']:>10.4f}"
+            for p in points
+        ],
+    )
+
+    params = [p["params"] for p in points]
+    latencies = [p["latency_s"] for p in points]
+    accuracies = [p["accuracy"] for p in points]
+    # Cost grows monotonically with the width multiplier.
+    assert params == sorted(params)
+    assert latencies == sorted(latencies)
+    # Accuracy saturates: the widest model is not meaningfully better than 0.5x.
+    assert max(accuracies) - accuracies[1] <= 0.1
+    # The cheapest variant is at least 3x smaller and faster than the widest one.
+    assert params[-1] / params[0] > 3
+    assert latencies[-1] / latencies[0] > 1.2

@@ -1,0 +1,114 @@
+"""Equation 1 — the Selecting Algorithm's constrained optimization.
+
+Eq. (1): argmin_m L subject to A >= A_req, E <= E_pro, M <= M_pro, with
+symmetric variants for the other targets.  The bench sweeps constraint
+values over the profiled candidate set, checks the selector's answer
+against brute force at every sweep point, and measures selection latency
+(the selector runs on the edge, so it must be cheap).  It also trains the
+reinforcement-learning selector and reports its regret against the exact
+optimum.
+
+Expected shape: the selector matches brute force everywhere; tighter
+accuracy constraints push it toward heavier models; selection cost is
+microseconds per call; the RL selector's regret approaches zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import (
+    ALEMRequirement,
+    CapabilityEvaluator,
+    ModelSelector,
+    OptimizationTarget,
+    RLModelSelector,
+)
+from repro.exceptions import ModelSelectionError
+from repro.hardware import get_device, make_profiler
+
+
+@pytest.fixture(scope="module")
+def candidates(vision_zoo, vision_dataset):
+    evaluator = CapabilityEvaluator(vision_zoo, make_profiler("openei-lite"))
+    return evaluator.evaluate_all(
+        get_device("raspberry-pi-3"), task="image-classification",
+        x_test=vision_dataset.x_test, y_test=vision_dataset.y_test,
+    )
+
+
+def _brute_force(candidates, requirement, target):
+    feasible = [c for c in candidates if c.fits_in_memory and requirement.satisfied_by(c.alem)]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda c: c.alem.objective_value(target))
+
+
+def test_eq1_selector_matches_brute_force_across_sweep(benchmark, candidates):
+    selector = ModelSelector()
+    accuracies = sorted({c.alem.accuracy for c in candidates})
+    memory_values = sorted({c.alem.memory_mb for c in candidates})
+    sweep = []
+    for min_accuracy in [0.0] + [a - 1e-9 for a in accuracies]:
+        for max_memory in [None] + [m + 1e-9 for m in memory_values]:
+            sweep.append(ALEMRequirement(min_accuracy=min_accuracy, max_memory_mb=max_memory))
+
+    rows = []
+    mismatches = 0
+    for requirement in sweep:
+        for target in OptimizationTarget:
+            expected = _brute_force(candidates, requirement, target)
+            try:
+                got = selector.select(candidates, requirement, target=target).selected
+            except ModelSelectionError:
+                got = None
+            if (expected is None) != (got is None):
+                mismatches += 1
+            elif expected is not None and got is not None:
+                if not np.isclose(
+                    expected.alem.objective_value(target), got.alem.objective_value(target)
+                ):
+                    mismatches += 1
+    assert mismatches == 0
+
+    requirement = ALEMRequirement(min_accuracy=0.8)
+    result = benchmark(lambda: selector.select(candidates, requirement))
+
+    for target in OptimizationTarget:
+        selected = selector.select(candidates, requirement, target=target).selected
+        rows.append(f"{target.value:<10s} {selected.model_name:<24s} "
+                    f"{selected.alem.objective_value(target):>12.4f}")
+    print_table(
+        f"Equation 1 — selection over {len(candidates)} candidates on raspberry-pi-3 "
+        f"({len(sweep) * len(OptimizationTarget)} sweep points verified against brute force)",
+        f"{'target':<10s} {'selected model':<24s} {'objective':>12s}",
+        rows,
+    )
+    assert result.selected.alem.accuracy >= 0.8
+
+
+def test_eq1_rl_selector_regret(benchmark, candidates):
+    requirement = ALEMRequirement(min_accuracy=0.8)
+    exact = ModelSelector().select(candidates, requirement).selected
+
+    def train_rl():
+        learner = RLModelSelector(candidates, requirement, epsilon=0.15, seed=7)
+        learner.train(episodes=300)
+        return learner
+
+    learner = benchmark.pedantic(train_rl, rounds=1, iterations=1)
+    regret = learner.regret_against(exact)
+
+    print_table(
+        "Equation 1 — RL selector vs exact optimum",
+        f"{'selector':<16s} {'picked model':<24s} {'latency objective':>18s}",
+        [
+            f"{'exact (Eq. 1)':<16s} {exact.model_name:<24s} {exact.alem.latency_s:>16.4f} s",
+            f"{'RL (300 eps)':<16s} {learner.best().model_name:<24s} "
+            f"{learner.best().alem.latency_s:>16.4f} s",
+        ],
+    )
+    # The learned choice is within 50% of the optimum's latency (usually identical).
+    assert regret <= exact.alem.latency_s * 0.5

@@ -1,0 +1,73 @@
+"""Figure 1 — motivation: edge processing cuts bandwidth and latency versus cloud offload.
+
+Fig. 1 motivates EI with the collision of IoT data growth and AI
+applications: shipping raw sensor data to the cloud costs bandwidth and
+latency that on-edge intelligence avoids.  The bench streams a batch of
+surveillance frames through (a) cloud offload over a simulated WAN and
+(b) on-edge inference, and reports end-to-end latency and bytes moved.
+
+Expected shape: the edge path wins on per-frame latency by roughly an
+order of magnitude on a WAN-class link and uploads ~100x less data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.data import object_detection_workload
+from repro.hardware import get_device, make_profiler
+from repro.hardware.device import WAN_LINK
+from repro.nn.flops import model_cost
+
+
+@pytest.fixture(scope="module")
+def camera_workload():
+    return object_detection_workload(frames=60, frame_size=32, seed=0)
+
+
+def test_fig1_edge_vs_cloud_offload(benchmark, camera_workload, trained_vision_models):
+    edge_device = get_device("raspberry-pi-4")
+    cloud_device = get_device("cloud-datacenter")
+    edge_profiler = make_profiler("openei-lite")
+    cloud_profiler = make_profiler("cloud-framework")
+    model = trained_vision_models["mobilenet"]
+
+    frames = camera_workload.frames
+    frame_bytes = float(frames[0].nbytes)
+    result_bytes = 256.0
+    count = len(frames)
+
+    def measure():
+        edge_profile = edge_profiler.profile(model, (16, 16, 1), edge_device)
+        cloud_profile = cloud_profiler.profile(model, (16, 16, 1), cloud_device)
+        cloud_latency = count * (
+            WAN_LINK.transfer_seconds(frame_bytes)
+            + cloud_profile.latency_s
+            + WAN_LINK.transfer_seconds(result_bytes)
+        )
+        edge_latency = count * edge_profile.latency_s
+        return {
+            "cloud_total_s": cloud_latency,
+            "edge_total_s": edge_latency,
+            "cloud_bytes_uploaded": frame_bytes * count,
+            "edge_bytes_uploaded": result_bytes * count,
+        }
+
+    result = benchmark(measure)
+
+    print_table(
+        "Figure 1 — cloud offload vs edge intelligence (60 camera frames, WAN link)",
+        f"{'path':<18s} {'total latency':>15s} {'per frame':>12s} {'bytes uploaded':>16s}",
+        [
+            f"{'cloud offload':<18s} {result['cloud_total_s']:>13.2f} s "
+            f"{result['cloud_total_s'] / count * 1e3:>9.1f} ms "
+            f"{result['cloud_bytes_uploaded'] / 1e6:>13.2f} MB",
+            f"{'edge (OpenEI)':<18s} {result['edge_total_s']:>13.2f} s "
+            f"{result['edge_total_s'] / count * 1e3:>9.1f} ms "
+            f"{result['edge_bytes_uploaded'] / 1e6:>13.2f} MB",
+        ],
+    )
+
+    assert result["edge_total_s"] < result["cloud_total_s"] / 5
+    assert result["edge_bytes_uploaded"] < result["cloud_bytes_uploaded"] / 20

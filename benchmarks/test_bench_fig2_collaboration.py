@@ -1,0 +1,74 @@
+"""Figure 2 — EI overview: cloud-edge and edge-edge collaboration.
+
+Fig. 2 depicts the two collaboration modes the framework must support.
+The bench quantifies both:
+
+* edge-edge: a compute-intensive training job split across a cluster of
+  edges proportionally to compute power versus running it on one edge;
+* cloud-edge: DDNN-style split inference (edge branch with early exit,
+  escalation to a cloud model) versus pure-cloud inference.
+
+Expected shape: k equal edges give close to k-times faster collaborative
+training; DDNN keeps most samples local, uploads far fewer bytes than
+pure cloud offload and loses little accuracy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.collaboration import DDNNInference, EdgeCluster
+from repro.hardware import get_device
+from repro.hardware.device import LAN_LINK, WAN_LINK
+from repro.runtime import EdgeRuntime
+
+
+def test_fig2_edge_edge_collaborative_training(benchmark):
+    cluster = EdgeCluster(
+        [EdgeRuntime(get_device("raspberry-pi-4"), name=f"pi{i}") for i in range(4)],
+        LAN_LINK,
+    )
+
+    plan = benchmark(lambda: cluster.allocate_training(total_compute_gflop=50_000.0, sync_bytes=4e6))
+
+    print_table(
+        "Figure 2a — edge-edge collaborative training (4 Raspberry Pi 4 edges)",
+        f"{'strategy':<24s} {'completion time':>16s} {'speedup':>9s}",
+        [
+            f"{'single strongest edge':<24s} {plan.single_edge_seconds:>14.1f} s {'1.00x':>9s}",
+            f"{'4-edge collaboration':<24s} {plan.makespan_s:>14.1f} s {plan.speedup:>8.2f}x",
+        ],
+    )
+    assert plan.speedup > 3.0  # four equal edges approach 4x
+    assert abs(sum(plan.shares.values()) - 1.0) < 1e-9
+
+
+def test_fig2_cloud_edge_ddnn_split_inference(benchmark, trained_vision_models, vision_dataset):
+    ddnn = DDNNInference(
+        edge_model=trained_vision_models["mobilenet"],
+        cloud_model=trained_vision_models["vgg-lite"],
+        edge_device=get_device("raspberry-pi-4"),
+        cloud_device=get_device("cloud-datacenter"),
+        link=WAN_LINK,
+        input_shape=(16, 16, 1),
+        confidence_threshold=0.6,
+    )
+    x, y = vision_dataset.x_test, vision_dataset.y_test
+
+    result = benchmark.pedantic(lambda: ddnn.run(x, y), rounds=1, iterations=1)
+
+    cloud_only_bytes = float(x.nbytes)
+    print_table(
+        "Figure 2b — cloud-edge collaborative inference (DDNN early exit)",
+        f"{'path':<20s} {'accuracy':>9s} {'latency':>10s} {'bytes uploaded':>16s} {'local exits':>12s}",
+        [
+            f"{'cloud only':<20s} {'-':>9s} {result.cloud_only_latency_s:>8.2f} s "
+            f"{cloud_only_bytes / 1e6:>13.2f} MB {'0%':>12s}",
+            f"{'DDNN (edge+cloud)':<20s} {result.accuracy:>9.3f} {result.total_latency_s:>8.2f} s "
+            f"{result.bytes_uploaded / 1e6:>13.2f} MB {result.local_exit_fraction:>11.0%}",
+        ],
+    )
+    assert result.total_latency_s < result.cloud_only_latency_s
+    assert result.bytes_uploaded < cloud_only_bytes
+    assert result.accuracy >= result.edge_only_accuracy - 0.05

@@ -1,0 +1,71 @@
+"""Figure 5 — the model selector's 3-D selection space (models x packages x hardware).
+
+Fig. 5 illustrates that selecting a model means searching a
+three-dimensional space.  The bench profiles the full grid of zoo models
+x package configurations x edge devices, reports the ALEM spread along
+each axis, and checks the orderings the selector relies on.
+
+Expected shape: the grid has |models| x |packages| x |devices| points;
+latency varies by orders of magnitude across devices; the edge-optimized
+package beats the cloud framework configuration everywhere; heavyweight
+models never dominate edge-native ones on memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import CapabilityEvaluator
+from repro.hardware import get_device, make_profiler
+
+DEVICES = ("raspberry-pi-3", "raspberry-pi-4", "mobile-phone", "jetson-tx2", "edge-server")
+PACKAGES = ("cloud-framework", "openei-lite", "openei-lite-fused")
+
+
+def test_fig5_selection_space_grid(benchmark, vision_zoo, vision_dataset):
+    evaluator = CapabilityEvaluator(vision_zoo)
+    devices = [get_device(name) for name in DEVICES]
+    profilers = [make_profiler(name) for name in PACKAGES]
+
+    grid = benchmark.pedantic(
+        lambda: evaluator.evaluate_grid(
+            devices, profilers, task="image-classification",
+            x_test=vision_dataset.x_test, y_test=vision_dataset.y_test,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    assert len(grid) == len(vision_zoo) * len(DEVICES) * len(PACKAGES)
+
+    # Summaries along each axis of the cube.
+    by_device = {
+        name: [p.alem.latency_s for p in grid if p.device_name == name] for name in DEVICES
+    }
+    rows = [
+        f"{name:<16s} {np.min(lat) * 1e3:>9.2f} {np.median(lat) * 1e3:>9.2f} {np.max(lat) * 1e3:>9.2f}"
+        for name, lat in by_device.items()
+    ]
+    print_table(
+        f"Figure 5 — ALEM latency spread per device over {len(grid)} grid points (ms)",
+        f"{'device':<16s} {'min':>9s} {'median':>9s} {'max':>9s}",
+        rows,
+    )
+
+    by_model = {}
+    for point in grid:
+        by_model.setdefault(point.model_name, []).append(point.alem.memory_mb)
+    print_table(
+        "Figure 5 — memory footprint per model (MB, median over devices/packages)",
+        f"{'model':<24s} {'memory':>9s}",
+        [f"{name:<24s} {np.median(mems):>9.1f}" for name, mems in sorted(by_model.items())],
+    )
+
+    # Axis orderings the selector relies on.
+    assert np.median(by_device["raspberry-pi-3"]) > np.median(by_device["jetson-tx2"])
+    assert np.median(by_device["jetson-tx2"]) >= np.median(by_device["edge-server"])
+    lite = [p.alem.latency_s for p in grid if p.package_name == "openei-lite"]
+    heavy = [p.alem.latency_s for p in grid if p.package_name == "cloud-framework"]
+    assert np.median(lite) < np.median(heavy)
+    assert np.median(by_model["vgg-lite"]) > np.median(by_model["mobilenet-compressed"])

@@ -1,0 +1,70 @@
+"""S1 — Section III's goal: "an order of magnitude improvement" of the EI attributes.
+
+The paper states that after deploying OpenEI, "the EI attributes —
+accuracy, latency, energy, and memory footprint — will have an order of
+magnitude improvement comparing to the current AI algorithms running on
+the deep learning package."  The bench compares the naive deployment
+(heavyweight VGG-style model on a cloud-framework package configuration)
+against the OpenEI deployment (selector-chosen compressed edge model on
+the edge-optimized package) on a Raspberry Pi 3.
+
+Expected shape: latency, energy and memory improve by roughly 10x or more
+while accuracy stays within a few points of the baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import ALEMRequirement, CapabilityEvaluator, ModelSelector, OptimizationTarget
+from repro.core.alem import ALEM
+from repro.hardware import get_device, make_profiler
+
+
+def test_s1_order_of_magnitude_improvement(benchmark, vision_zoo, vision_dataset):
+    device = get_device("raspberry-pi-3")
+
+    def measure():
+        # Baseline: the heavyweight model on a cloud-framework package.
+        baseline_eval = CapabilityEvaluator(vision_zoo, make_profiler("cloud-framework"))
+        baseline = baseline_eval.evaluate(
+            vision_zoo.get("vgg-lite"), device,
+            x_test=vision_dataset.x_test, y_test=vision_dataset.y_test,
+        )
+        # OpenEI: the selector picks from the optimized zoo on the edge package.
+        openei_eval = CapabilityEvaluator(vision_zoo, make_profiler("openei-lite-quantized"))
+        candidates = openei_eval.evaluate_all(
+            device, task="image-classification",
+            x_test=vision_dataset.x_test, y_test=vision_dataset.y_test,
+        )
+        requirement = ALEMRequirement(min_accuracy=baseline.alem.accuracy - 0.1)
+        chosen = ModelSelector().select(
+            candidates, requirement, target=OptimizationTarget.LATENCY
+        ).selected
+        return baseline, chosen
+
+    baseline, chosen = benchmark.pedantic(measure, rounds=1, iterations=1)
+    improvement = chosen.alem.improvement_over(baseline.alem)
+
+    print_table(
+        "S1 — baseline (VGG on cloud framework) vs OpenEI (selected model on edge package), raspberry-pi-3",
+        f"{'deployment':<26s} {'model':<22s} {'acc':>6s} {'lat(ms)':>9s} {'E(J)':>8s} {'mem(MB)':>8s}",
+        [
+            f"{'baseline':<26s} {baseline.model_name:<22s} {baseline.alem.accuracy:>6.3f} "
+            f"{baseline.alem.latency_s * 1e3:>9.2f} {baseline.alem.energy_j:>8.4f} "
+            f"{baseline.alem.memory_mb:>8.1f}",
+            f"{'OpenEI':<26s} {chosen.model_name:<22s} {chosen.alem.accuracy:>6.3f} "
+            f"{chosen.alem.latency_s * 1e3:>9.2f} {chosen.alem.energy_j:>8.4f} "
+            f"{chosen.alem.memory_mb:>8.1f}",
+            f"{'improvement factor':<26s} {'':<22s} {improvement['accuracy']:>6.2f} "
+            f"{improvement['latency']:>9.1f} {improvement['energy']:>8.1f} "
+            f"{improvement['memory']:>8.1f}",
+        ],
+    )
+
+    assert isinstance(chosen.alem, ALEM)
+    assert improvement["latency"] >= 4.0      # approaching the order-of-magnitude goal
+    assert improvement["energy"] >= 4.0
+    assert improvement["accuracy"] >= 0.9     # accuracy essentially preserved
+    assert chosen.alem.memory_mb <= baseline.alem.memory_mb

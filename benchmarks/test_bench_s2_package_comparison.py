@@ -1,0 +1,69 @@
+"""S2 — Section IV.B's pCAMP observation: no package wins on every dimension.
+
+The paper cites Zhang et al.'s pCAMP study: across deep-learning packages
+on edge devices, "no framework could achieve the best performance in all
+dimensions" (latency, memory, energy).  The bench runs the same model
+under every package configuration on several devices and reports the
+winner per dimension.
+
+Expected shape: the per-dimension winners are not all the same package —
+the fused configuration wins latency/energy while the plain lite
+configuration (smaller runtime overhead is modelled identically here, so
+memory ties are broken by the quantized configuration's smaller weights)
+wins memory, reproducing the "no overall winner" conclusion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import CapabilityEvaluator
+from repro.hardware import PACKAGE_CONFIGURATIONS, get_device, make_profiler
+
+DEVICES = ("raspberry-pi-3", "mobile-phone", "jetson-tx2")
+
+
+def test_s2_no_package_wins_everywhere(benchmark, vision_zoo, vision_dataset):
+    packages = sorted(PACKAGE_CONFIGURATIONS)
+    devices = [get_device(name) for name in DEVICES]
+
+    def evaluate():
+        evaluator = CapabilityEvaluator(vision_zoo)
+        grid = evaluator.evaluate_grid(
+            devices, [make_profiler(p) for p in packages],
+            task="image-classification",
+            x_test=vision_dataset.x_test, y_test=vision_dataset.y_test,
+        )
+        return [p for p in grid if p.model_name == "mobilenet"]
+
+    points = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    rows = []
+    winners = {"latency": set(), "energy": set(), "memory": set()}
+    for device in DEVICES:
+        device_points = [p for p in points if p.device_name == device]
+        best_latency = min(device_points, key=lambda p: p.alem.latency_s)
+        best_energy = min(device_points, key=lambda p: p.alem.energy_j)
+        best_memory = min(device_points, key=lambda p: p.alem.memory_mb)
+        winners["latency"].add(best_latency.package_name)
+        winners["energy"].add(best_energy.package_name)
+        winners["memory"].add(best_memory.package_name)
+        rows.append(
+            f"{device:<16s} {best_latency.package_name:<22s} {best_energy.package_name:<22s} "
+            f"{best_memory.package_name:<22s}"
+        )
+
+    print_table(
+        "S2 — best package configuration per dimension (mobilenet model)",
+        f"{'device':<16s} {'latency winner':<22s} {'energy winner':<22s} {'memory winner':<22s}",
+        rows,
+    )
+
+    # The cloud framework configuration never wins any dimension on the edge.
+    assert "cloud-framework" not in winners["latency"]
+    assert "cloud-framework" not in winners["energy"]
+    assert "cloud-framework" not in winners["memory"]
+    # pCAMP's conclusion: the latency/energy winner is not the memory winner, so no
+    # single package configuration is best on every ALEM dimension.
+    assert winners["latency"].isdisjoint(winners["memory"])

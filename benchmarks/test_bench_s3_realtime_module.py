@@ -1,0 +1,64 @@
+"""S3 — Section III.B's real-time machine-learning module.
+
+"When the module is called, the machine learning task will be set to the
+highest priority to ensure that it has as many computing resources as
+possible."  The bench saturates an edge runtime with background work and
+issues urgent inference requests with and without the real-time module,
+comparing completion latency and deadline hit rate.
+
+Expected shape: with the module enabled the urgent inferences complete in
+roughly their pure execution time and meet their deadlines; without it
+they queue behind background work and miss them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hardware import get_device
+from repro.runtime import EdgeRuntime, PriorityScheduler, ResourceAccountant, Task, TaskPriority
+
+BACKGROUND_TASKS = 20
+URGENT_TASKS = 5
+BACKGROUND_SECONDS = 1.0
+URGENT_SECONDS = 0.02
+DEADLINE_SECONDS = 0.5
+
+
+def _run_scenario(realtime_module: bool):
+    scheduler = PriorityScheduler(ResourceAccountant(get_device("raspberry-pi-4")))
+    urgent_tasks = []
+    # The competing load is ordinary (NORMAL-priority) analytics work already queued
+    # on the edge — exactly what an urgent request contends with in the paper's story.
+    for index in range(BACKGROUND_TASKS):
+        scheduler.submit(Task(f"video-analytics-{index}", compute_seconds=BACKGROUND_SECONDS,
+                              priority=TaskPriority.NORMAL, kind="background"))
+    for index in range(URGENT_TASKS):
+        priority = TaskPriority.REALTIME if realtime_module else TaskPriority.NORMAL
+        task = Task(f"urgent-inference-{index}", compute_seconds=URGENT_SECONDS,
+                    deadline_s=DEADLINE_SECONDS, priority=priority, kind="inference")
+        urgent_tasks.append(scheduler.submit(task))
+    scheduler.run_all()
+    completion = [t.completion_time for t in urgent_tasks]
+    met = [t.met_deadline for t in urgent_tasks]
+    return float(np.mean(completion)), float(np.mean(met))
+
+
+def test_s3_realtime_module_guarantees_latency(benchmark):
+    with_module = benchmark(lambda: _run_scenario(realtime_module=True))
+    without_module = _run_scenario(realtime_module=False)
+
+    print_table(
+        f"S3 — urgent inference under {BACKGROUND_TASKS} background tasks (raspberry-pi-4)",
+        f"{'configuration':<26s} {'mean completion':>16s} {'deadline hit rate':>18s}",
+        [
+            f"{'real-time ML module ON':<26s} {with_module[0]:>14.3f} s {with_module[1]:>17.0%}",
+            f"{'real-time ML module OFF':<26s} {without_module[0]:>14.3f} s {without_module[1]:>17.0%}",
+        ],
+    )
+
+    assert with_module[1] == 1.0                       # every urgent task met its deadline
+    assert without_module[1] == 0.0                    # without the module they all miss
+    assert with_module[0] < without_module[0] / 10     # order-of-magnitude tail-latency win

@@ -1,0 +1,124 @@
+"""Table I — typical approaches for deep compression.
+
+The paper's Table I is qualitative (advantages/disadvantages of parameter
+sharing & pruning, low-rank factorization and knowledge transfer).  This
+bench quantifies the same comparison on the reproduction substrate: each
+family compresses a trained reference network and the harness reports
+accuracy delta, size reduction and edge-inference speedup on a Raspberry
+Pi-class device.
+
+Expected shape (paper claims): every family shrinks the model by a large
+factor; pruning/quantization keep accuracy close to the baseline;
+low-rank factorization trades more accuracy at aggressive ranks;
+distillation produces the smallest *architecture* with a modest accuracy
+gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.compression import (
+    CompressionStep,
+    binarize_model,
+    compress_and_report,
+    distill,
+    hash_share_model,
+    kmeans_quantize_model,
+    low_rank_compress_model,
+    magnitude_prune_model,
+    quantize_int8_model,
+)
+from repro.eialgorithms import build_mlp
+from repro.hardware import get_device
+from repro.nn.optimizers import Adam
+
+
+@pytest.fixture(scope="module")
+def reference_model(tabular_dataset):
+    """A deliberately over-parameterized reference network (the VGG role)."""
+    model = build_mlp(12, 4, hidden=(256, 128), seed=0, name="reference-mlp")
+    model.fit(tabular_dataset.x_train, tabular_dataset.y_train, epochs=12, batch_size=32,
+              optimizer=Adam(0.005))
+    return model
+
+
+def _prune_and_finetune(model, dataset, sparsity=0.9, epochs=4):
+    """Han et al.'s three-step recipe: prune, retrain, keep pruned weights at zero."""
+    from repro.compression.pruning import reapply_masks
+
+    pruned = magnitude_prune_model(model, sparsity)
+    pruned.fit(dataset.x_train, dataset.y_train, epochs=epochs, batch_size=32,
+               optimizer=Adam(0.002))
+    return reapply_masks(pruned)
+
+
+def _steps(dataset):
+    return [
+        CompressionStep("prune-90-finetuned", lambda m: _prune_and_finetune(m, dataset, 0.9),
+                        "parameter sharing and pruning"),
+        CompressionStep("prune-90", lambda m: magnitude_prune_model(m, 0.9),
+                        "parameter sharing and pruning"),
+        CompressionStep("kmeans-16", lambda m: kmeans_quantize_model(m, clusters=16),
+                        "parameter sharing and pruning"),
+        CompressionStep("binary", binarize_model, "parameter sharing and pruning"),
+        CompressionStep("int8", quantize_int8_model, "parameter sharing and pruning"),
+        CompressionStep("hashed-8x", lambda m: hash_share_model(m, 8.0),
+                        "parameter sharing and pruning"),
+        CompressionStep("lowrank-25", lambda m: low_rank_compress_model(m, 0.25),
+                        "low-rank factorization"),
+    ]
+
+
+def test_table1_compression_families(benchmark, reference_model, tabular_dataset):
+    device = get_device("raspberry-pi-3")
+
+    def run():
+        return compress_and_report(
+            reference_model,
+            _steps(tabular_dataset),
+            tabular_dataset.x_test,
+            tabular_dataset.y_test,
+            input_shape=(12,),
+            device=device,
+        )
+
+    report, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Knowledge transfer (the third Table I family) needs its own training loop.
+    student = build_mlp(12, 4, hidden=(16,), seed=3, name="student-mlp")
+    distilled = distill(
+        reference_model, student,
+        tabular_dataset.x_train, tabular_dataset.y_train,
+        tabular_dataset.x_test, tabular_dataset.y_test,
+        epochs=8,
+    )
+    student_size_mb = student.size_bytes() / 1024**2
+    report.add("distilled-student", "knowledge transfer", distilled.student_accuracy,
+               student_size_mb, report.baseline_latency_s * student.param_count()
+               / max(1, reference_model.param_count()))
+
+    print_table(
+        "Table I — compression families on the reference network "
+        f"(baseline acc {report.baseline_accuracy:.3f}, {report.baseline_size_mb:.3f} MB)",
+        f"{'technique':<20s} {'family':<30s} {'acc':>6s} {'Δacc':>7s} {'x smaller':>10s}",
+        [
+            f"{row['technique']:<20s} {row['family']:<30s} {row['accuracy']:>6.3f} "
+            f"{row['accuracy_delta']:>+7.3f} {row['size_reduction_x']:>10.1f}"
+            for row in report.rows
+        ],
+    )
+
+    # Shape assertions mirroring the paper's qualitative claims.
+    by_name = {row["technique"]: row for row in report.rows}
+    for name in ("prune-90", "prune-90-finetuned", "kmeans-16", "binary", "int8",
+                 "hashed-8x", "lowrank-25"):
+        assert by_name[name]["size_reduction_x"] > 1.5
+    assert by_name["binary"]["size_reduction_x"] > 20            # 32-bit -> 1-bit weights
+    assert by_name["int8"]["accuracy_delta"] > -0.05             # int8 is nearly lossless
+    # Fine-tuning recovers most of the accuracy lost by aggressive one-shot pruning.
+    assert by_name["prune-90-finetuned"]["accuracy_delta"] >= by_name["prune-90"]["accuracy_delta"]
+    assert by_name["prune-90-finetuned"]["accuracy_delta"] > -0.15
+    assert by_name["distilled-student"]["accuracy"] > report.baseline_accuracy - 0.3
+    assert student.param_count() < reference_model.param_count() / 10

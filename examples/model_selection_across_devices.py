@@ -1,0 +1,97 @@
+"""Exploring the Fig. 5 selection space: models x packages x edge devices.
+
+Profiles a zoo of image classifiers (heavyweight baselines, edge-native
+architectures and compressed variants) across several edge devices and
+package configurations, prints the ALEM grid, and shows how the Eq. (1)
+answer changes with the device and with the optimization target —
+including the reinforcement-learning selector converging to the same
+choice as the exact optimizer.
+
+Run with:  python examples/model_selection_across_devices.py
+"""
+
+from __future__ import annotations
+
+from repro.compression import magnitude_prune_model, quantize_int8_model
+from repro.core import (
+    ALEMRequirement,
+    CapabilityEvaluator,
+    ModelSelector,
+    ModelZoo,
+    OptimizationTarget,
+    RLModelSelector,
+)
+from repro.eialgorithms import build_lenet, build_mobilenet, build_squeezenet, build_vgg_lite
+from repro.hardware import get_device, make_profiler
+from repro.nn.datasets import make_images
+from repro.nn.optimizers import Adam
+
+
+def build_zoo():
+    dataset = make_images(samples=240, image_size=16, classes=3, seed=5)
+    zoo = ModelZoo()
+    builders = {
+        "vgg-lite": lambda: build_vgg_lite((16, 16, 1), 3, 0.5, seed=0, name="vgg-lite"),
+        "lenet": lambda: build_lenet((16, 16, 1), 3, seed=0, name="lenet"),
+        "squeezenet": lambda: build_squeezenet((16, 16, 1), 3, seed=0, name="squeezenet"),
+        "mobilenet": lambda: build_mobilenet((16, 16, 1), 3, 0.5, seed=0, name="mobilenet"),
+    }
+    for name, builder in builders.items():
+        model = builder()
+        model.fit(dataset.x_train, dataset.y_train, epochs=4, batch_size=16, optimizer=Adam(0.005))
+        zoo.register(name, model, task="image-classification", input_shape=(16, 16, 1))
+    compressed = quantize_int8_model(magnitude_prune_model(zoo.get("mobilenet").model, 0.5))
+    compressed.name = "mobilenet-compressed"
+    zoo.register("mobilenet-compressed", compressed, task="image-classification",
+                 input_shape=(16, 16, 1), optimizations=("prune-50", "int8"))
+    return zoo, dataset
+
+
+def main() -> None:
+    zoo, dataset = build_zoo()
+    devices = [get_device(name) for name in ("raspberry-pi-3", "mobile-phone", "jetson-tx2")]
+    packages = ["cloud-framework", "openei-lite", "openei-lite-fused"]
+
+    evaluator = CapabilityEvaluator(zoo)
+    grid = evaluator.evaluate_grid(
+        devices, [make_profiler(p) for p in packages], task="image-classification",
+        x_test=dataset.x_test, y_test=dataset.y_test,
+    )
+    print(f"selection space: {len(zoo)} models x {len(packages)} packages x {len(devices)} devices "
+          f"= {len(grid)} ALEM points\n")
+
+    header = (f"{'model':<22s} {'package':<20s} {'device':<16s} {'acc':>6s} "
+              f"{'lat(ms)':>9s} {'E(J)':>7s} {'mem(MB)':>8s}")
+    print(header)
+    print("-" * len(header))
+    for point in sorted(grid, key=lambda p: (p.device_name, p.package_name, p.alem.latency_s)):
+        print(
+            f"{point.model_name:<22s} {point.package_name:<20s} {point.device_name:<16s} "
+            f"{point.alem.accuracy:>6.3f} {point.alem.latency_s * 1e3:>9.2f} "
+            f"{point.alem.energy_j:>7.3f} {point.alem.memory_mb:>8.1f}"
+        )
+
+    selector = ModelSelector()
+    requirement = ALEMRequirement(min_accuracy=0.8)
+    print("\nEq. (1) answers per device (openei-lite package, latency target):")
+    for device in devices:
+        candidates = [p for p in grid if p.device_name == device.name and p.package_name == "openei-lite"]
+        result = selector.select(candidates, requirement, target=OptimizationTarget.LATENCY)
+        print(f"  {device.name:<16s} -> {result.selected.model_name} "
+              f"({result.selected.alem.latency_s * 1e3:.2f} ms)")
+
+    print("\ntarget sensitivity on the Raspberry Pi 3 (openei-lite):")
+    pi_candidates = [p for p in grid if p.device_name == "raspberry-pi-3" and p.package_name == "openei-lite"]
+    for target in OptimizationTarget:
+        result = selector.select(pi_candidates, requirement, target=target)
+        print(f"  optimize {target.value:<9s} -> {result.selected.model_name}")
+
+    exact = selector.select(pi_candidates, requirement).selected
+    learner = RLModelSelector(pi_candidates, requirement, seed=0)
+    learned = learner.train(episodes=300)
+    print(f"\nRL selector after 300 episodes picks {learned.model_name} "
+          f"(exact optimum {exact.model_name}, regret {learner.regret_against(exact):.4f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package.
+
+Offline environments that lack `wheel` cannot build PEP 660 editable
+wheels; this file lets pip fall back to the legacy `setup.py develop`
+path (`pip install -e . --no-use-pep517`). All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

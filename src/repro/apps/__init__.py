@@ -1,0 +1,36 @@
+"""The four application scenarios of Section V, built on the public OpenEI API.
+
+Each module provides a domain pipeline plus a ``register(openei, ...)``
+helper that exposes the pipeline through libei under the URL prefix
+Fig. 4 names for it:
+
+* :mod:`repro.apps.public_safety`    — ``/ei_algorithms/safety/detection`` and
+  ``/ei_algorithms/safety/firearm_detection``
+* :mod:`repro.apps.connected_vehicles` — ``/ei_algorithms/vehicles/tracking``
+* :mod:`repro.apps.smart_home`       — ``/ei_algorithms/home/power_monitor``
+* :mod:`repro.apps.connected_health` — ``/ei_algorithms/health/activity_recognition``
+"""
+
+from repro.apps.connected_health import ActivityRecognizer, register_connected_health
+from repro.apps.connected_vehicles import ObjectTracker, register_connected_vehicles
+from repro.apps.public_safety import BlobDetector, register_public_safety
+from repro.apps.smart_home import PowerMonitor, register_smart_home
+
+__all__ = [
+    "ActivityRecognizer",
+    "BlobDetector",
+    "ObjectTracker",
+    "PowerMonitor",
+    "register_connected_health",
+    "register_connected_vehicles",
+    "register_public_safety",
+    "register_smart_home",
+]
+
+
+def register_all(openei, seed: int = 0) -> None:
+    """Register every scenario's algorithms on a deployed OpenEI instance."""
+    register_public_safety(openei, seed=seed)
+    register_connected_vehicles(openei, seed=seed)
+    register_smart_home(openei, seed=seed)
+    register_connected_health(openei, seed=seed)

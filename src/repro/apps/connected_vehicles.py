@@ -1,0 +1,117 @@
+"""Connected and Autonomous Vehicles (Section V.B).
+
+The exposed algorithm is ``vehicles/tracking``: detect the lead object in
+each forward-camera frame and track it with a constant-velocity
+alpha-beta filter (the classic lightweight tracker), producing smoothed
+positions and a one-step-ahead prediction.  Tracking error against the
+simulator's ground-truth trajectory is the scenario's accuracy metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.openei import OpenEI
+from repro.data.sensors import VehicleCameraSensor
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class TrackState:
+    """Current estimate of the tracked object."""
+
+    position: np.ndarray   # (2,)
+    velocity: np.ndarray   # (2,)
+
+    def predict(self, steps: int = 1) -> np.ndarray:
+        """Constant-velocity prediction ``steps`` frames ahead."""
+        return self.position + self.velocity * steps
+
+
+class ObjectTracker:
+    """Alpha-beta filter over per-frame bright-centroid measurements."""
+
+    def __init__(self, alpha: float = 0.6, beta: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0 or not 0.0 <= beta <= 1.0:
+            raise ConfigurationError("alpha must lie in (0, 1] and beta in [0, 1]")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.state: Optional[TrackState] = None
+
+    @staticmethod
+    def measure(frame: np.ndarray) -> np.ndarray:
+        """Intensity-weighted centroid of the brightest region in a frame."""
+        if frame.ndim == 3:
+            frame = frame[:, :, 0]
+        threshold = frame.mean() + 2 * frame.std()
+        mask = frame > threshold
+        if not mask.any():
+            mask = frame >= np.quantile(frame, 0.999)
+        ys, xs = np.nonzero(mask)
+        weights = frame[ys, xs]
+        total = weights.sum()
+        return np.array([float((xs * weights).sum() / total), float((ys * weights).sum() / total)])
+
+    def update(self, frame: np.ndarray) -> TrackState:
+        """Consume one frame and return the updated track state."""
+        measurement = self.measure(frame)
+        if self.state is None:
+            self.state = TrackState(position=measurement, velocity=np.zeros(2))
+            return self.state
+        predicted = self.state.position + self.state.velocity
+        residual = measurement - predicted
+        position = predicted + self.alpha * residual
+        velocity = self.state.velocity + self.beta * residual
+        self.state = TrackState(position=position, velocity=velocity)
+        return self.state
+
+    def track(self, frames: np.ndarray) -> np.ndarray:
+        """Track through a frame sequence; returns the (n, 2) estimated positions."""
+        estimates = []
+        for frame in frames:
+            estimates.append(self.update(frame).position.copy())
+        return np.array(estimates)
+
+    def reset(self) -> None:
+        """Forget the current track."""
+        self.state = None
+
+    @staticmethod
+    def tracking_rmse(estimates: np.ndarray, ground_truth: np.ndarray) -> float:
+        """Root-mean-square position error in pixels."""
+        if estimates.shape != ground_truth.shape:
+            raise ConfigurationError("estimates and ground_truth must have the same shape")
+        return float(np.sqrt(np.mean(np.sum((estimates - ground_truth) ** 2, axis=1))))
+
+
+def register_connected_vehicles(
+    openei: OpenEI, camera_id: str = "vehiclecam1", seed: int = 0,
+    tracker: Optional[ObjectTracker] = None,
+) -> ObjectTracker:
+    """Attach a vehicle camera and register the tracking algorithm on ``openei``."""
+    tracker = tracker or ObjectTracker()
+    camera = VehicleCameraSensor(sensor_id=camera_id, seed=seed)
+    openei.data_store.register_sensor(camera)
+
+    def tracking_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        frames = int(args.get("frames", 1))
+        readings = ei.data_store.capture(str(args.get("video", camera_id)), count=max(1, frames))
+        positions: List[List[float]] = []
+        truths: List[List[float]] = []
+        for reading in readings:
+            state = tracker.update(reading.payload)
+            positions.append([float(state.position[0]), float(state.position[1])])
+            truths.append(list(reading.annotations["position"]))
+        prediction = tracker.state.predict(1) if tracker.state is not None else np.zeros(2)
+        return {
+            "sensor_id": camera_id,
+            "track": positions,
+            "ground_truth": truths,
+            "predicted_next": [float(prediction[0]), float(prediction[1])],
+        }
+
+    openei.register_algorithm("vehicles", "tracking", tracking_handler)
+    return tracker

@@ -1,0 +1,41 @@
+"""Cloud-edge and edge-edge collaboration (Section II.C/II.D of the paper).
+
+* :mod:`repro.collaboration.cloud` — the cloud simulator: trains global
+  models, serves model downloads, accepts uploaded retrained models and
+  aggregates them into a new global model.
+* :mod:`repro.collaboration.cloud_edge` — the three EI dataflows of
+  Fig. 3 (cloud inference, edge inference, edge retraining via transfer
+  learning) with latency/bandwidth/accuracy accounting.
+* :mod:`repro.collaboration.edge_edge` — edge-edge collaboration:
+  allocating a compute-intensive job across edges proportionally to their
+  compute power, and multi-edge task coordination.
+* :mod:`repro.collaboration.ddnn` — distributed DNN inference across edge
+  and cloud with an early-exit branch on the edge (Teerapittayanon et al.).
+"""
+
+from repro.collaboration.cloud import CloudSimulator, TrainedModelRecord
+from repro.collaboration.cloud_edge import DataflowMetrics, DataflowRunner, TransferLearner
+from repro.collaboration.ddnn import DDNNInference, DDNNResult
+from repro.collaboration.edge_edge import CollaborativeTrainingPlan, EdgeCluster
+from repro.collaboration.federation import (
+    FederatedClient,
+    FederatedResult,
+    FederatedTrainer,
+    split_dataset_across_edges,
+)
+
+__all__ = [
+    "CloudSimulator",
+    "CollaborativeTrainingPlan",
+    "DDNNInference",
+    "DDNNResult",
+    "DataflowMetrics",
+    "DataflowRunner",
+    "EdgeCluster",
+    "FederatedClient",
+    "FederatedResult",
+    "FederatedTrainer",
+    "split_dataset_across_edges",
+    "TrainedModelRecord",
+    "TransferLearner",
+]

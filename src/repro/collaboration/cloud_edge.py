@@ -1,0 +1,201 @@
+"""The three EI dataflows of Fig. 3 and edge transfer learning.
+
+Dataflow 1: upload edge data to the cloud, infer there, return results.
+Dataflow 2: download the cloud-trained model once, infer on the edge.
+Dataflow 3: additionally retrain the downloaded model on local edge data
+            (transfer learning) to obtain a personalized model.
+
+:class:`DataflowRunner` executes each flow on the same workload and
+returns comparable latency / bytes-transferred / accuracy metrics, which
+is exactly what the Fig. 3 benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.collaboration.cloud import CloudSimulator
+from repro.exceptions import CollaborationError
+from repro.hardware.device import DeviceSpec, NetworkLink
+from repro.hardware.profiler import ALEMProfiler
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam, Optimizer
+
+
+@dataclass
+class DataflowMetrics:
+    """Outcome of running one dataflow on a workload."""
+
+    dataflow: str
+    total_latency_s: float
+    bytes_uploaded: float
+    bytes_downloaded: float
+    accuracy: float
+    per_sample_latency_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "dataflow": self.dataflow,
+            "total_latency_s": self.total_latency_s,
+            "bytes_uploaded": self.bytes_uploaded,
+            "bytes_downloaded": self.bytes_downloaded,
+            "accuracy": self.accuracy,
+            "per_sample_latency_s": self.per_sample_latency_s,
+        }
+
+
+class TransferLearner:
+    """Dataflow 3's local retraining step: fine-tune only the classifier head.
+
+    Freezing all layers except the last parametric one is the standard
+    low-cost transfer-learning recipe and keeps edge training affordable,
+    matching "retrain the model by transfer learning based on the data
+    they generated".
+    """
+
+    def __init__(self, epochs: int = 5, learning_rate: float = 0.01, batch_size: int = 32) -> None:
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+
+    def retrain(
+        self,
+        model: Sequential,
+        x_local: np.ndarray,
+        y_local: np.ndarray,
+        optimizer: Optional[Optimizer] = None,
+    ) -> Sequential:
+        """Fine-tune the final parametric layer on local data; returns the same model."""
+        parametric = [layer for layer in model.layers if layer.param_count() > 0]
+        if not parametric:
+            raise CollaborationError("model has no trainable layers to fine-tune")
+        frozen = []
+        for layer in model.layers:
+            if layer.param_count() > 0 and layer is not parametric[-1] and layer.trainable:
+                layer.trainable = False
+                frozen.append(layer)
+        try:
+            model.fit(
+                x_local,
+                y_local,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                optimizer=optimizer or Adam(self.learning_rate),
+            )
+        finally:
+            for layer in frozen:
+                layer.trainable = True
+        model.metadata["personalized"] = True
+        return model
+
+
+class DataflowRunner:
+    """Execute the three Fig. 3 dataflows on a common workload."""
+
+    def __init__(
+        self,
+        cloud: CloudSimulator,
+        edge_device: DeviceSpec,
+        link: NetworkLink,
+        edge_profiler: Optional[ALEMProfiler] = None,
+        result_bytes: float = 256.0,
+    ) -> None:
+        self.cloud = cloud
+        self.edge_device = edge_device
+        self.link = link
+        self.edge_profiler = edge_profiler or ALEMProfiler()
+        self.result_bytes = float(result_bytes)
+
+    # -- dataflow 1 ---------------------------------------------------------
+    def cloud_inference(
+        self,
+        model_name: str,
+        x: np.ndarray,
+        y: np.ndarray,
+        bytes_per_sample: Optional[float] = None,
+    ) -> DataflowMetrics:
+        """Upload every sample to the cloud, infer there, download results."""
+        record = self.cloud.download(model_name)
+        bytes_per_sample = bytes_per_sample or float(x[0].nbytes)
+        upload_bytes = bytes_per_sample * len(x)
+        upload_time = sum(self.link.transfer_seconds(bytes_per_sample) for _ in range(len(x)))
+        cloud_profile = self.cloud.profiler.profile(record.model, record.input_shape, self.cloud.device)
+        compute_time = cloud_profile.latency_s * len(x)
+        download_time = self.link.transfer_seconds(self.result_bytes) * len(x)
+        predictions = self.cloud.remote_inference(model_name, x)
+        accuracy = float(np.mean(predictions.argmax(axis=1) == y))
+        total = upload_time + compute_time + download_time
+        return DataflowMetrics(
+            dataflow="cloud-inference",
+            total_latency_s=total,
+            bytes_uploaded=upload_bytes,
+            bytes_downloaded=self.result_bytes * len(x),
+            accuracy=accuracy,
+            per_sample_latency_s=total / len(x),
+        )
+
+    # -- dataflow 2 ---------------------------------------------------------
+    def edge_inference(
+        self, model_name: str, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[DataflowMetrics, Sequential]:
+        """Download the model once, then infer locally on the edge."""
+        record = self.cloud.download(model_name)
+        download_time = self.link.transfer_seconds(record.size_bytes)
+        profile = self.edge_profiler.profile(record.model, record.input_shape, self.edge_device)
+        compute_time = profile.latency_s * len(x)
+        predictions = record.model.predict(x)
+        accuracy = float(np.mean(predictions.argmax(axis=1) == y))
+        total = download_time + compute_time
+        metrics = DataflowMetrics(
+            dataflow="edge-inference",
+            total_latency_s=total,
+            bytes_uploaded=0.0,
+            bytes_downloaded=record.size_bytes,
+            accuracy=accuracy,
+            per_sample_latency_s=total / len(x),
+        )
+        return metrics, record.model
+
+    # -- dataflow 3 ---------------------------------------------------------
+    def edge_retraining(
+        self,
+        model_name: str,
+        x_local_train: np.ndarray,
+        y_local_train: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        learner: Optional[TransferLearner] = None,
+        upload_to_cloud: bool = True,
+    ) -> Tuple[DataflowMetrics, Sequential]:
+        """Download, retrain locally on edge data, infer with the personalized model."""
+        learner = learner or TransferLearner()
+        record = self.cloud.download(model_name)
+        download_time = self.link.transfer_seconds(record.size_bytes)
+        training_time = self.edge_profiler.profile_training(
+            record.model,
+            record.input_shape,
+            self.edge_device,
+            samples=len(x_local_train),
+            epochs=learner.epochs,
+        )
+        personalized = learner.retrain(record.model, x_local_train, y_local_train)
+        profile = self.edge_profiler.profile(personalized, record.input_shape, self.edge_device)
+        compute_time = profile.latency_s * len(x)
+        predictions = personalized.predict(x)
+        accuracy = float(np.mean(predictions.argmax(axis=1) == y))
+        upload_bytes = record.size_bytes if upload_to_cloud else 0.0
+        if upload_to_cloud:
+            self.cloud.upload_retrained(model_name, personalized)
+        total = download_time + training_time + compute_time
+        metrics = DataflowMetrics(
+            dataflow="edge-retraining",
+            total_latency_s=total,
+            bytes_uploaded=upload_bytes,
+            bytes_downloaded=record.size_bytes,
+            accuracy=accuracy,
+            per_sample_latency_s=total / len(x),
+        )
+        return metrics, personalized

@@ -1,0 +1,43 @@
+"""Model-compression techniques of the paper's Table I.
+
+Three families are implemented, matching the table's rows, plus the
+int8 quantization the edge packages of Section IV.B rely on:
+
+* **Parameter sharing and pruning** — magnitude pruning
+  (:mod:`repro.compression.pruning`), binary and k-means weight
+  quantization (:mod:`repro.compression.quantization`) and HashedNets
+  weight sharing (:mod:`repro.compression.hashing`).
+* **Low-rank factorization** — SVD-based approximation of dense layers
+  (:mod:`repro.compression.low_rank`).
+* **Knowledge transfer** — teacher-student distillation
+  (:mod:`repro.compression.distillation`).
+
+:mod:`repro.compression.pipeline` chains techniques and reports the
+size/accuracy/speedup summary the Table I benchmark prints.
+"""
+
+from repro.compression.distillation import DistillationResult, distill
+from repro.compression.hashing import hash_share_model
+from repro.compression.low_rank import low_rank_compress_model
+from repro.compression.pipeline import CompressionReport, CompressionStep, compress_and_report
+from repro.compression.pruning import magnitude_prune_model, sparsity
+from repro.compression.quantization import (
+    binarize_model,
+    kmeans_quantize_model,
+    quantize_int8_model,
+)
+
+__all__ = [
+    "CompressionReport",
+    "CompressionStep",
+    "DistillationResult",
+    "binarize_model",
+    "compress_and_report",
+    "distill",
+    "hash_share_model",
+    "kmeans_quantize_model",
+    "low_rank_compress_model",
+    "magnitude_prune_model",
+    "quantize_int8_model",
+    "sparsity",
+]

@@ -1,0 +1,103 @@
+"""Knowledge distillation (teacher-student training, Table I row 3).
+
+A compact student network is trained to match the soft predictions of a
+larger teacher, optionally blended with the hard labels — the Caruana /
+Hinton recipe the paper summarizes under "knowledge transfer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam, Optimizer
+
+
+@dataclass
+class DistillationResult:
+    """Outcome of a distillation run."""
+
+    student: Sequential
+    teacher_accuracy: float
+    student_accuracy: float
+    epochs: int
+    temperature: float
+
+    @property
+    def accuracy_gap(self) -> float:
+        """Teacher accuracy minus student accuracy (positive means the student lags)."""
+        return self.teacher_accuracy - self.student_accuracy
+
+
+def _soften(probabilities: np.ndarray, temperature: float) -> np.ndarray:
+    """Re-temper a probability distribution: p_i^(1/T) renormalized."""
+    logits = np.log(np.clip(probabilities, 1e-12, 1.0)) / temperature
+    logits -= logits.max(axis=1, keepdims=True)
+    exp = np.exp(logits)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def distill(
+    teacher: Sequential,
+    student: Sequential,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    epochs: int = 10,
+    batch_size: int = 32,
+    temperature: float = 2.0,
+    hard_label_weight: float = 0.3,
+    optimizer: Optional[Optimizer] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> DistillationResult:
+    """Train ``student`` to mimic ``teacher`` on the given data.
+
+    The student minimizes cross entropy against a blend of softened
+    teacher predictions and the true one-hot labels, weighted by
+    ``hard_label_weight``.
+    """
+    if not 0.0 <= hard_label_weight <= 1.0:
+        raise ConfigurationError("hard_label_weight must lie in [0, 1]")
+    if temperature <= 0:
+        raise ConfigurationError("temperature must be positive")
+    if epochs <= 0 or batch_size <= 0:
+        raise ConfigurationError("epochs and batch_size must be positive")
+    rng = rng or np.random.default_rng(0)
+    optimizer = optimizer or Adam(learning_rate=0.005)
+    loss = CrossEntropyLoss()
+
+    teacher_probs = teacher.predict(x_train)
+    soft_targets = _soften(teacher_probs, temperature)
+    num_classes = teacher_probs.shape[1]
+    onehot = np.zeros_like(teacher_probs)
+    onehot[np.arange(len(y_train)), y_train.astype(int)] = 1.0
+    blended = hard_label_weight * onehot + (1.0 - hard_label_weight) * soft_targets
+
+    count = len(x_train)
+    for _ in range(epochs):
+        order = rng.permutation(count)
+        for start in range(0, count, batch_size):
+            idx = order[start : start + batch_size]
+            preds = student.forward(x_train[idx], training=True)
+            loss.forward(preds, blended[idx])
+            student.backward(loss.backward())
+            optimizer.step(student.layers)
+
+    teacher_accuracy = teacher.evaluate(x_test, y_test)[1]
+    student_accuracy = student.evaluate(x_test, y_test)[1]
+    student.metadata["compression"] = list(student.metadata.get("compression", [])) + ["distilled"]
+    student.metadata["distilled_from"] = teacher.name
+    del num_classes
+    return DistillationResult(
+        student=student,
+        teacher_accuracy=teacher_accuracy,
+        student_accuracy=student_accuracy,
+        epochs=epochs,
+        temperature=temperature,
+    )

@@ -1,0 +1,62 @@
+"""HashedNets-style weight sharing (Chen et al., cited in Section IV.A.1).
+
+Connections are grouped into hash buckets with a cheap deterministic hash
+of their index; all connections in a bucket share one value.  Here the
+sharing is applied post-training: each bucket's value becomes the mean of
+its members, and storage drops to one float per bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.model import Sequential
+
+
+def _shareable_keys(layer) -> Iterable[str]:
+    for key in layer.params:
+        base = key.rsplit("/", 1)[-1]
+        if base not in ("b", "beta", "gamma") and not base.startswith("b_"):
+            yield key
+
+
+def _bucket_ids(size: int, buckets: int, salt: int) -> np.ndarray:
+    """Deterministic pseudo-random bucket assignment for ``size`` weights."""
+    indices = np.arange(size, dtype=np.uint64)
+    # xorshift-style mix; cheap, deterministic and well spread.
+    mixed = (indices * np.uint64(2654435761) + np.uint64(salt)) & np.uint64(0xFFFFFFFF)
+    mixed ^= mixed >> np.uint64(16)
+    return (mixed % np.uint64(buckets)).astype(np.int64)
+
+
+def hash_share_model(
+    model: Sequential,
+    compression_factor: float = 8.0,
+    in_place: bool = False,
+) -> Sequential:
+    """Share weights within hash buckets, shrinking storage by ``compression_factor``.
+
+    Each weight matrix with N entries is represented by ``N /
+    compression_factor`` bucket values.
+    """
+    if compression_factor <= 1.0:
+        raise ConfigurationError("compression_factor must exceed 1")
+    shared = model if in_place else model.clone_architecture()
+    for idx, layer in enumerate(shared.layers):
+        for key in _shareable_keys(layer):
+            weights = layer.params[key]
+            flat = weights.ravel()
+            buckets = max(1, int(flat.size / compression_factor))
+            ids = _bucket_ids(flat.size, buckets, salt=idx + 1)
+            sums = np.bincount(ids, weights=flat, minlength=buckets)
+            counts = np.bincount(ids, minlength=buckets)
+            bucket_values = sums / np.maximum(counts, 1)
+            weights[...] = bucket_values[ids].reshape(weights.shape)
+    shared.metadata["bytes_per_param"] = float(
+        model.metadata.get("bytes_per_param", 4.0)
+    ) / compression_factor
+    shared.metadata["compression"] = list(shared.metadata.get("compression", [])) + ["hashed"]
+    return shared

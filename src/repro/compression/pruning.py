@@ -1,0 +1,112 @@
+"""Magnitude pruning (Han et al., the 'parameter pruning' row of Table I).
+
+The three-step recipe the paper describes — learn which connections
+matter, prune the unimportant ones, fine-tune the survivors — is
+implemented as :func:`magnitude_prune_model` (steps 1–2) plus an optional
+fine-tuning pass the caller performs with the pruned model's ordinary
+``fit`` method; the pruning masks are stored in the model metadata so a
+re-pruning pass can keep zeros at zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.model import Sequential
+
+
+def sparsity(model: Sequential) -> float:
+    """Fraction of exactly-zero weights across all parameters."""
+    total = 0
+    zeros = 0
+    for layer in model.layers:
+        for value in layer.params.values():
+            total += value.size
+            zeros += int(np.count_nonzero(value == 0.0))
+    return zeros / total if total else 0.0
+
+
+def _prunable_keys(layer) -> Iterable[str]:
+    """Weight matrices are pruned; biases and normalization scales are kept."""
+    for key in layer.params:
+        base = key.rsplit("/", 1)[-1]
+        if base in ("W", "Wx", "Wh") or base.startswith("Wx_") or base.startswith("Wh_"):
+            yield key
+
+
+def magnitude_prune_model(
+    model: Sequential,
+    target_sparsity: float = 0.9,
+    per_layer: bool = True,
+    in_place: bool = False,
+) -> Sequential:
+    """Zero out the smallest-magnitude weights until ``target_sparsity`` is reached.
+
+    Parameters
+    ----------
+    target_sparsity:
+        Fraction of prunable weights to set to zero, in ``[0, 1)``.
+    per_layer:
+        If true, apply the threshold per layer (robust to scale
+        differences); otherwise use a single global threshold.
+    in_place:
+        Modify ``model`` directly instead of a deep copy.
+    """
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ConfigurationError("target_sparsity must lie in [0, 1)")
+    pruned = model if in_place else model.clone_architecture()
+    if target_sparsity == 0.0:
+        pruned.metadata["pruned_sparsity"] = 0.0
+        return pruned
+
+    if not per_layer:
+        magnitudes = np.concatenate(
+            [
+                np.abs(layer.params[key]).ravel()
+                for layer in pruned.layers
+                for key in _prunable_keys(layer)
+            ]
+            or [np.zeros(1)]
+        )
+        global_threshold = float(np.quantile(magnitudes, target_sparsity))
+
+    masks: Dict[str, np.ndarray] = {}
+    for idx, layer in enumerate(pruned.layers):
+        for key in _prunable_keys(layer):
+            weights = layer.params[key]
+            threshold = (
+                float(np.quantile(np.abs(weights), target_sparsity))
+                if per_layer
+                else global_threshold
+            )
+            mask = np.abs(weights) > threshold
+            weights[...] = weights * mask
+            masks[f"{idx}:{key}"] = mask
+    pruned.metadata["pruned_sparsity"] = sparsity(pruned)
+    pruned.metadata["compression"] = list(pruned.metadata.get("compression", [])) + ["prune"]
+    # Effective storage: non-zero values + indices (CSR-style), approximated
+    # as 4 bytes per surviving weight + 4 bytes per index.
+    survivors = 1.0 - target_sparsity
+    pruned.metadata["bytes_per_param"] = float(
+        model.metadata.get("bytes_per_param", 4.0)
+    ) * survivors * 2.0
+    return pruned
+
+
+def reapply_masks(model: Sequential, reference: Optional[Sequential] = None) -> Sequential:
+    """Re-zero weights that a previous pruning pass removed.
+
+    Call after fine-tuning so gradient updates do not resurrect pruned
+    connections.  ``reference`` defaults to ``model`` itself (masks are
+    recovered from current zero positions when metadata is missing).
+    """
+    reference = reference or model
+    for layer in model.layers:
+        for key in _prunable_keys(layer):
+            ref_layer = reference.layers[model.layers.index(layer)]
+            mask = ref_layer.params[key] != 0.0
+            layer.params[key][...] = layer.params[key] * mask
+    return model

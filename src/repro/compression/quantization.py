@@ -1,0 +1,98 @@
+"""Weight quantization: binary, k-means and int8.
+
+Covers the quantization techniques the paper cites in Section IV.A.1
+(Courbariaux et al. binary networks, Gong et al. k-means quantization)
+and the 8-bit tensors of QNNPACK-style edge packages (Section IV.B).
+All techniques are *simulated quantization*: weights are replaced by
+their quantized values but kept in float arrays so the unmodified NumPy
+inference path still runs; the achieved storage cost is recorded in
+``model.metadata["bytes_per_param"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.model import Sequential
+
+
+def _quantizable_keys(layer) -> Iterable[str]:
+    for key in layer.params:
+        base = key.rsplit("/", 1)[-1]
+        if base not in ("b", "beta", "gamma") and not base.startswith("b_"):
+            yield key
+
+
+def binarize_model(model: Sequential, in_place: bool = False) -> Sequential:
+    """Constrain weights to ±scale per layer (binary-weight networks).
+
+    The per-layer scale is the mean absolute value, the standard
+    binary-weight-network estimator, which keeps activations in range.
+    """
+    quantized = model if in_place else model.clone_architecture()
+    for layer in quantized.layers:
+        for key in _quantizable_keys(layer):
+            weights = layer.params[key]
+            scale = float(np.mean(np.abs(weights))) or 1.0
+            weights[...] = np.where(weights >= 0, scale, -scale)
+    quantized.metadata["bytes_per_param"] = 1.0 / 8.0
+    quantized.metadata["compression"] = list(quantized.metadata.get("compression", [])) + ["binary"]
+    return quantized
+
+
+def kmeans_quantize_model(
+    model: Sequential,
+    clusters: int = 16,
+    iterations: int = 10,
+    in_place: bool = False,
+    seed: int = 0,
+) -> Sequential:
+    """Cluster each layer's weights into ``clusters`` shared values (Gong et al.).
+
+    Storage cost becomes ``log2(clusters)`` bits per weight plus a small
+    codebook, recorded in the model metadata.
+    """
+    if clusters < 2:
+        raise ConfigurationError("clusters must be at least 2")
+    if iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+    quantized = model if in_place else model.clone_architecture()
+    rng = np.random.default_rng(seed)
+    for layer in quantized.layers:
+        for key in _quantizable_keys(layer):
+            weights = layer.params[key]
+            flat = weights.ravel()
+            if flat.size <= clusters:
+                continue
+            # 1-D k-means via quantile initialization + Lloyd iterations.
+            centroids = np.quantile(flat, np.linspace(0.0, 1.0, clusters))
+            centroids = centroids + rng.normal(0, 1e-9, size=clusters)
+            for _ in range(iterations):
+                assignment = np.argmin(np.abs(flat[:, None] - centroids[None, :]), axis=1)
+                for cluster in range(clusters):
+                    members = flat[assignment == cluster]
+                    if members.size:
+                        centroids[cluster] = members.mean()
+            assignment = np.argmin(np.abs(flat[:, None] - centroids[None, :]), axis=1)
+            weights[...] = centroids[assignment].reshape(weights.shape)
+    bits = float(np.ceil(np.log2(clusters)))
+    quantized.metadata["bytes_per_param"] = bits / 8.0
+    quantized.metadata["compression"] = list(quantized.metadata.get("compression", [])) + ["kmeans"]
+    return quantized
+
+
+def quantize_int8_model(model: Sequential, in_place: bool = False) -> Sequential:
+    """Symmetric per-tensor int8 quantization (QNNPACK / TensorFlow Lite style)."""
+    quantized = model if in_place else model.clone_architecture()
+    for layer in quantized.layers:
+        for key in _quantizable_keys(layer):
+            weights = layer.params[key]
+            max_abs = float(np.max(np.abs(weights))) or 1.0
+            scale = max_abs / 127.0
+            weights[...] = np.round(weights / scale) * scale
+    quantized.metadata["bytes_per_param"] = 1.0
+    quantized.metadata["compression"] = list(quantized.metadata.get("compression", [])) + ["int8"]
+    return quantized

@@ -1,0 +1,38 @@
+"""OpenEI core: the paper's primary contribution.
+
+* :mod:`repro.core.alem` — the four-element EI capability tuple
+  ⟨Accuracy, Latency, Energy, Memory footprint⟩ and constraint objects.
+* :mod:`repro.core.capability` — evaluating the ALEM tuple of a
+  (model, package, device) combination.
+* :mod:`repro.core.model_zoo` — the optimized-model registry the model
+  selector draws from.
+* :mod:`repro.core.model_selector` — the Selecting Algorithm of Eq. (1)
+  plus a reinforcement-learning selector.
+* :mod:`repro.core.package_manager` — the lightweight package manager
+  with inference, local training and the real-time ML module.
+* :mod:`repro.core.openei` — the OpenEI facade deployed on an edge device
+  (Fig. 4), wiring the three components together with libei.
+"""
+
+from repro.core.alem import ALEM, ALEMRequirement, OptimizationTarget
+from repro.core.capability import CapabilityEvaluator, EvaluatedCandidate
+from repro.core.model_selector import ModelSelector, RLModelSelector, SelectionResult
+from repro.core.model_zoo import ModelZoo, ZooEntry
+from repro.core.openei import OpenEI
+from repro.core.package_manager import InferenceOutcome, PackageManager
+
+__all__ = [
+    "ALEM",
+    "ALEMRequirement",
+    "CapabilityEvaluator",
+    "EvaluatedCandidate",
+    "InferenceOutcome",
+    "ModelSelector",
+    "ModelZoo",
+    "OpenEI",
+    "OptimizationTarget",
+    "PackageManager",
+    "RLModelSelector",
+    "SelectionResult",
+    "ZooEntry",
+]

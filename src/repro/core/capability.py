@@ -1,0 +1,136 @@
+"""EI capability evaluation: attaching Accuracy to hardware profiles.
+
+The Selecting Algorithm "will first evaluate the EI capability of the
+hardware platform based on the four-element tuple ALEM".  The evaluator
+combines the hardware profiler's Latency/Energy/Memory estimates with a
+measured task Accuracy for each candidate model, yielding the
+:class:`EvaluatedCandidate` points the selector optimizes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alem import ALEM
+from repro.core.model_zoo import ModelZoo, ZooEntry
+from repro.hardware.device import DeviceSpec
+from repro.hardware.profiler import ALEMProfiler, ProfileResult
+
+
+@dataclass(frozen=True)
+class EvaluatedCandidate:
+    """One (model, package, device) point with its full ALEM measurement."""
+
+    model_name: str
+    device_name: str
+    package_name: str
+    alem: ALEM
+    fits_in_memory: bool
+    profile: ProfileResult
+
+    def as_dict(self) -> Dict[str, object]:
+        result = {
+            "model": self.model_name,
+            "device": self.device_name,
+            "package": self.package_name,
+            "fits_in_memory": self.fits_in_memory,
+        }
+        result.update(self.alem.as_dict())
+        return result
+
+
+class CapabilityEvaluator:
+    """Measures ALEM tuples for zoo models on a device under a package config.
+
+    Accuracy measurements are cached per model (accuracy is device
+    independent); Latency/Energy/Memory come from the profiler.
+    """
+
+    def __init__(self, zoo: ModelZoo, profiler: Optional[ALEMProfiler] = None) -> None:
+        self.zoo = zoo
+        self.profiler = profiler or ALEMProfiler()
+        self._accuracy_cache: Dict[str, float] = {}
+
+    def measure_accuracy(self, entry: ZooEntry, x_test: np.ndarray, y_test: np.ndarray) -> float:
+        """Accuracy of one zoo model, cached by model name."""
+        if entry.name not in self._accuracy_cache:
+            self._accuracy_cache[entry.name] = entry.model.evaluate(x_test, y_test)[1]
+        return self._accuracy_cache[entry.name]
+
+    def set_accuracy(self, model_name: str, accuracy: float) -> None:
+        """Inject a known accuracy (used when evaluation data is unavailable)."""
+        self._accuracy_cache[model_name] = float(accuracy)
+
+    def evaluate(
+        self,
+        entry: ZooEntry,
+        device: DeviceSpec,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+        batch_size: int = 1,
+    ) -> EvaluatedCandidate:
+        """Produce the full ALEM point for one zoo entry on one device."""
+        if x_test is not None and y_test is not None:
+            accuracy = self.measure_accuracy(entry, x_test, y_test)
+        else:
+            accuracy = self._accuracy_cache.get(entry.name, 0.0)
+        profile = self.profiler.profile(
+            entry.model,
+            entry.input_shape,
+            device,
+            batch_size=batch_size,
+            bytes_per_param=entry.bytes_per_param,
+        )
+        alem = ALEM(
+            accuracy=accuracy,
+            latency_s=profile.latency_s,
+            energy_j=profile.energy_j,
+            memory_mb=profile.memory_mb,
+        )
+        return EvaluatedCandidate(
+            model_name=entry.name,
+            device_name=device.name,
+            package_name=self.profiler.package_name,
+            alem=alem,
+            fits_in_memory=profile.fits_in_memory,
+            profile=profile,
+        )
+
+    def evaluate_all(
+        self,
+        device: DeviceSpec,
+        task: Optional[str] = None,
+        scenario: Optional[str] = None,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+    ) -> List[EvaluatedCandidate]:
+        """Evaluate every matching zoo entry on one device."""
+        return [
+            self.evaluate(entry, device, x_test=x_test, y_test=y_test)
+            for entry in self.zoo.entries(task=task, scenario=scenario)
+        ]
+
+    def evaluate_grid(
+        self,
+        devices: Sequence[DeviceSpec],
+        profilers: Sequence[ALEMProfiler],
+        task: Optional[str] = None,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+    ) -> List[EvaluatedCandidate]:
+        """The Fig. 5 grid: models x packages x devices, fully evaluated."""
+        results: List[EvaluatedCandidate] = []
+        original_profiler = self.profiler
+        try:
+            for profiler in profilers:
+                self.profiler = profiler
+                for device in devices:
+                    results.extend(
+                        self.evaluate_all(device, task=task, x_test=x_test, y_test=y_test)
+                    )
+        finally:
+            self.profiler = original_profiler
+        return results

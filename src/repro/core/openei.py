@@ -1,0 +1,185 @@
+"""The OpenEI facade (Fig. 4): package manager + model selector + libei resources.
+
+Deploying :class:`OpenEI` on a device spec turns that device into an
+"intelligent edge": it owns an edge runtime, a package manager over a
+model zoo, a capability evaluator and model selector, an edge data store,
+and a registry of scenario algorithms reachable through libei's
+``/ei_algorithms/<scenario>/<algorithm>`` URLs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.alem import ALEMRequirement, OptimizationTarget
+from repro.core.capability import CapabilityEvaluator, EvaluatedCandidate
+from repro.core.model_selector import ModelSelector, SelectionResult
+from repro.core.model_zoo import ModelZoo
+from repro.core.package_manager import InferenceOutcome, PackageManager
+from repro.data.store import EdgeDataStore
+from repro.exceptions import DeploymentError, ResourceNotFoundError
+from repro.hardware.catalog import get_device
+from repro.hardware.device import DeviceSpec
+from repro.hardware.profiler import make_profiler
+from repro.runtime.edgeos import EdgeRuntime
+
+#: Signature of a scenario algorithm: it receives the OpenEI instance and
+#: the request arguments and returns a JSON-serializable dictionary.
+AlgorithmHandler = Callable[["OpenEI", Dict[str, object]], Dict[str, object]]
+
+
+class OpenEI:
+    """One deployed OpenEI instance on one edge device."""
+
+    #: The four application scenarios of Fig. 4.
+    SCENARIOS = ("safety", "vehicles", "home", "health")
+
+    def __init__(
+        self,
+        device: Optional[DeviceSpec] = None,
+        device_name: Optional[str] = None,
+        package_name: str = "openei-lite",
+        zoo: Optional[ModelZoo] = None,
+        data_store: Optional[EdgeDataStore] = None,
+    ) -> None:
+        if device is None and device_name is None:
+            raise DeploymentError("OpenEI needs a device or a device name to deploy onto")
+        self.device = device or get_device(device_name)  # type: ignore[arg-type]
+        self.runtime = EdgeRuntime(self.device)
+        self.zoo = zoo or ModelZoo()
+        self.package_manager = PackageManager(self.runtime, self.zoo, package_name=package_name)
+        self.capability_evaluator = CapabilityEvaluator(self.zoo, self.package_manager.profiler)
+        self.model_selector = ModelSelector()
+        self.data_store = data_store or EdgeDataStore()
+        self._algorithms: Dict[str, Dict[str, AlgorithmHandler]] = {
+            scenario: {} for scenario in self.SCENARIOS
+        }
+
+    # -- deployment -----------------------------------------------------------
+    @classmethod
+    def deploy(cls, device_name: str, package_name: str = "openei-lite") -> "OpenEI":
+        """The paper's "deploy and play": stand up OpenEI on a named catalog device."""
+        return cls(device_name=device_name, package_name=package_name)
+
+    def describe(self) -> Dict[str, object]:
+        """Status summary exposed through libei."""
+        return {
+            "device": self.device.name,
+            "package_manager": self.package_manager.describe(),
+            "runtime": self.runtime.describe(),
+            "models": self.zoo.names,
+            "scenarios": {
+                scenario: sorted(handlers) for scenario, handlers in self._algorithms.items()
+            },
+            "sensors": self.data_store.sensor_ids,
+        }
+
+    # -- model selection ---------------------------------------------------------
+    def evaluate_capability(
+        self,
+        task: Optional[str] = None,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+    ) -> List[EvaluatedCandidate]:
+        """ALEM tuples for every zoo model (of a task) on this device."""
+        return self.capability_evaluator.evaluate_all(
+            self.device, task=task, x_test=x_test, y_test=y_test
+        )
+
+    def select_model(
+        self,
+        task: Optional[str] = None,
+        requirement: Optional[ALEMRequirement] = None,
+        target: OptimizationTarget = OptimizationTarget.LATENCY,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+    ) -> SelectionResult:
+        """Run the Selecting Algorithm for this device and the given requirement."""
+        candidates = self.evaluate_capability(task=task, x_test=x_test, y_test=y_test)
+        return self.model_selector.select(candidates, requirement=requirement, target=target)
+
+    # -- inference ------------------------------------------------------------------
+    def infer(
+        self,
+        model_name: str,
+        inputs: np.ndarray,
+        realtime: bool = False,
+        deadline_s: Optional[float] = None,
+    ) -> InferenceOutcome:
+        """Run inference through the package manager."""
+        return self.package_manager.infer(
+            model_name, inputs, realtime=realtime, deadline_s=deadline_s
+        )
+
+    def infer_with_selection(
+        self,
+        task: str,
+        inputs: np.ndarray,
+        requirement: Optional[ALEMRequirement] = None,
+        target: OptimizationTarget = OptimizationTarget.ACCURACY,
+        realtime: bool = False,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+    ) -> Tuple[SelectionResult, InferenceOutcome]:
+        """The Section III.E processing flow: select a model, then execute it.
+
+        The default target is accuracy-oriented, matching "the default is
+        accuracy oriented" in the paper's walk-through.
+        """
+        selection = self.select_model(
+            task=task, requirement=requirement, target=target, x_test=x_test, y_test=y_test
+        )
+        outcome = self.infer(selection.selected.model_name, inputs, realtime=realtime)
+        return selection, outcome
+
+    # -- algorithm registry (libei's /ei_algorithms) -----------------------------------
+    def register_algorithm(self, scenario: str, name: str, handler: AlgorithmHandler) -> None:
+        """Expose ``handler`` as ``/ei_algorithms/<scenario>/<name>``."""
+        if scenario not in self._algorithms:
+            self._algorithms[scenario] = {}
+        self._algorithms[scenario][name] = handler
+
+    def algorithms(self, scenario: Optional[str] = None) -> Dict[str, List[str]]:
+        """Registered algorithm names, optionally for one scenario."""
+        if scenario is not None:
+            return {scenario: sorted(self._algorithms.get(scenario, {}))}
+        return {s: sorted(handlers) for s, handlers in self._algorithms.items()}
+
+    def call_algorithm(
+        self, scenario: str, name: str, args: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """Dispatch an /ei_algorithms call to its registered handler."""
+        handlers = self._algorithms.get(scenario)
+        if handlers is None or name not in handlers:
+            raise ResourceNotFoundError(
+                f"no algorithm {name!r} registered for scenario {scenario!r}"
+            )
+        return handlers[name](self, dict(args or {}))
+
+    # -- data access (libei's /ei_data) ---------------------------------------------------
+    def get_realtime_data(self, sensor_id: str) -> Dict[str, object]:
+        """Newest reading of a sensor, serialized for the REST layer."""
+        reading = self.data_store.realtime(sensor_id)
+        return {
+            "sensor_id": reading.sensor_id,
+            "timestamp": reading.timestamp,
+            "shape": list(reading.payload.shape),
+            "payload": reading.payload.tolist(),
+            "annotations": reading.annotations,
+        }
+
+    def get_historical_data(
+        self, sensor_id: str, start: float, end: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Readings of a sensor within a time window, serialized for the REST layer."""
+        readings = self.data_store.historical(sensor_id, start, end)
+        return {
+            "sensor_id": sensor_id,
+            "count": len(readings),
+            "start": start,
+            "end": end,
+            "timestamps": [r.timestamp for r in readings],
+            "payloads": [r.payload.tolist() for r in readings],
+        }

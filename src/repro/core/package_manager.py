@@ -1,0 +1,177 @@
+"""The OpenEI package manager (Section III.B).
+
+The package manager is the lightweight deep-learning runtime installed on
+the edge OS.  It loads optimized models from the zoo, executes inference,
+supports *local training* (personalization via transfer learning) and
+contains the *real-time machine-learning module* which promotes urgent
+tasks to the highest scheduling priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.collaboration.cloud_edge import TransferLearner
+from repro.core.model_zoo import ModelZoo, ZooEntry
+from repro.exceptions import ConfigurationError, DeploymentError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.profiler import ALEMProfiler, make_profiler
+from repro.nn.model import Sequential
+from repro.runtime.edgeos import EdgeRuntime
+from repro.runtime.tasks import Task
+
+
+@dataclass
+class InferenceOutcome:
+    """Result of an inference executed through the package manager."""
+
+    model_name: str
+    predictions: np.ndarray
+    latency_s: float
+    energy_j: float
+    memory_mb: float
+    realtime: bool
+    met_deadline: Optional[bool]
+
+
+class PackageManager:
+    """Loads models, runs inference/training and schedules them on the edge runtime."""
+
+    def __init__(
+        self,
+        runtime: EdgeRuntime,
+        zoo: Optional[ModelZoo] = None,
+        package_name: str = "openei-lite",
+        profiler: Optional[ALEMProfiler] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.zoo = zoo or ModelZoo()
+        self.profiler = profiler or make_profiler(package_name)
+        self.package_name = self.profiler.package_name
+        self._loaded: Dict[str, ZooEntry] = {}
+
+    # -- model lifecycle ------------------------------------------------------
+    def load_model(self, name: str) -> ZooEntry:
+        """Load a zoo model onto this edge (consumes local storage)."""
+        entry = self.zoo.get(name)
+        size_mb = entry.model.size_bytes(entry.bytes_per_param) / (1024.0**2)
+        if name not in self._loaded:
+            self.runtime.install_model(name, size_mb)
+            self._loaded[name] = entry
+        return entry
+
+    def unload_model(self, name: str) -> None:
+        """Remove a loaded model from the edge."""
+        if name in self._loaded:
+            self.runtime.uninstall_model(name)
+            del self._loaded[name]
+
+    @property
+    def loaded_models(self) -> Tuple[str, ...]:
+        """Names of models currently resident on this edge."""
+        return tuple(sorted(self._loaded))
+
+    def _resolve(self, name: str) -> ZooEntry:
+        if name in self._loaded:
+            return self._loaded[name]
+        return self.load_model(name)
+
+    # -- inference --------------------------------------------------------------
+    def infer(
+        self,
+        name: str,
+        inputs: np.ndarray,
+        realtime: bool = False,
+        deadline_s: Optional[float] = None,
+    ) -> InferenceOutcome:
+        """Run inference with a loaded model, scheduled on the edge runtime.
+
+        ``realtime=True`` invokes the real-time machine-learning module:
+        the task is promoted to the highest priority so it runs ahead of
+        any queued background work.
+        """
+        entry = self._resolve(name)
+        if inputs.shape[1:] != entry.input_shape:
+            raise ConfigurationError(
+                f"model {name!r} expects input shape {entry.input_shape}, "
+                f"got {tuple(inputs.shape[1:])}"
+            )
+        profile = self.profiler.profile(
+            entry.model,
+            entry.input_shape,
+            self.runtime.device,
+            batch_size=len(inputs),
+            bytes_per_param=entry.bytes_per_param,
+        )
+        if not profile.fits_in_memory:
+            raise DeploymentError(
+                f"model {name!r} needs {profile.memory_mb:.1f} MB but device "
+                f"{self.runtime.device.name} has {self.runtime.device.memory_mb:.1f} MB"
+            )
+        task = self.runtime.run_inference(
+            name=f"infer/{name}",
+            latency_s=profile.latency_s,
+            memory_mb=profile.memory_mb,
+            energy_j=profile.energy_j,
+            deadline_s=deadline_s,
+            realtime=realtime,
+        )
+        predictions = entry.model.predict(inputs)
+        return InferenceOutcome(
+            model_name=name,
+            predictions=predictions,
+            latency_s=profile.latency_s,
+            energy_j=profile.energy_j,
+            memory_mb=profile.memory_mb,
+            realtime=realtime,
+            met_deadline=task.met_deadline,
+        )
+
+    # -- local training ------------------------------------------------------------
+    def train_locally(
+        self,
+        name: str,
+        x_local: np.ndarray,
+        y_local: np.ndarray,
+        epochs: int = 5,
+        learning_rate: float = 0.01,
+    ) -> Tuple[Sequential, float]:
+        """Personalize a loaded model on local data (dataflow 3 of Fig. 3).
+
+        Returns the personalized model and the estimated training time on
+        this device.
+        """
+        entry = self._resolve(name)
+        learner = TransferLearner(epochs=epochs, learning_rate=learning_rate)
+        estimated_seconds = self.profiler.profile_training(
+            entry.model,
+            entry.input_shape,
+            self.runtime.device,
+            samples=len(x_local),
+            epochs=epochs,
+        )
+        task = Task(
+            name=f"train/{name}",
+            compute_seconds=estimated_seconds,
+            memory_mb=self.profiler.profile(
+                entry.model, entry.input_shape, self.runtime.device
+            ).memory_mb,
+            kind="training",
+        )
+        self.runtime.submit(task)
+        self.runtime.run_pending()
+        personalized = learner.retrain(entry.model, x_local, y_local)
+        return personalized, estimated_seconds
+
+    # -- introspection --------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Summary dictionary for libei's package-manager resource."""
+        return {
+            "package": self.package_name,
+            "package_efficiency": self.profiler.package_efficiency,
+            "loaded_models": list(self.loaded_models),
+            "device": self.runtime.device.name,
+        }

@@ -1,0 +1,83 @@
+"""Realtime/historical data store behind libei's ``/ei_data`` URLs."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.exceptions import ResourceNotFoundError
+from repro.data.sensors import SensorReading, _BaseSensor
+
+
+class EdgeDataStore:
+    """Per-edge storage of sensor readings with realtime and historical access.
+
+    * ``realtime(sensor_id)`` returns the newest reading (pulling a fresh
+      one from a registered live sensor when available) — the
+      ``/ei_data/realtime/<sensor>/{timestamp}`` call of Fig. 6.
+    * ``historical(sensor_id, start, end)`` returns the readings recorded
+      in a time window — ``/ei_data/historical/<sensor>/{start,end}``.
+    """
+
+    def __init__(self, retention: int = 10000) -> None:
+        self._readings: Dict[str, List[SensorReading]] = defaultdict(list)
+        self._sensors: Dict[str, _BaseSensor] = {}
+        self.retention = int(retention)
+
+    # -- registration ------------------------------------------------------
+    def register_sensor(self, sensor: _BaseSensor) -> None:
+        """Attach a live sensor; realtime queries will pull fresh readings from it."""
+        self._sensors[sensor.sensor_id] = sensor
+
+    @property
+    def sensor_ids(self) -> List[str]:
+        """All sensors known to the store (live or with recorded data)."""
+        return sorted(set(self._sensors) | set(self._readings))
+
+    # -- ingestion ------------------------------------------------------------
+    def record(self, reading: SensorReading) -> None:
+        """Store one reading, evicting the oldest when over retention."""
+        series = self._readings[reading.sensor_id]
+        series.append(reading)
+        if len(series) > self.retention:
+            del series[: len(series) - self.retention]
+
+    def capture(self, sensor_id: str, count: int = 1) -> List[SensorReading]:
+        """Pull ``count`` fresh readings from a registered live sensor and record them."""
+        sensor = self._sensors.get(sensor_id)
+        if sensor is None:
+            raise ResourceNotFoundError(f"no live sensor registered as {sensor_id!r}")
+        readings = [sensor.read() for _ in range(count)]
+        for reading in readings:
+            self.record(reading)
+        return readings
+
+    # -- queries -----------------------------------------------------------------
+    def realtime(self, sensor_id: str) -> SensorReading:
+        """Newest reading for a sensor, pulling from the live sensor when attached."""
+        if sensor_id in self._sensors:
+            return self.capture(sensor_id, count=1)[0]
+        series = self._readings.get(sensor_id)
+        if not series:
+            raise ResourceNotFoundError(f"no data recorded for sensor {sensor_id!r}")
+        return series[-1]
+
+    def historical(
+        self, sensor_id: str, start: float, end: Optional[float] = None
+    ) -> List[SensorReading]:
+        """Readings with ``start <= timestamp <= end`` (end defaults to +inf)."""
+        series = self._readings.get(sensor_id)
+        if series is None:
+            raise ResourceNotFoundError(f"no data recorded for sensor {sensor_id!r}")
+        end = float("inf") if end is None else end
+        return [r for r in series if start <= r.timestamp <= end]
+
+    def count(self, sensor_id: str) -> int:
+        """Number of stored readings for a sensor."""
+        return len(self._readings.get(sensor_id, []))
+
+    def total_bytes(self, sensor_id: Optional[str] = None) -> int:
+        """Stored payload bytes, for one sensor or all of them."""
+        if sensor_id is not None:
+            return sum(r.nbytes for r in self._readings.get(sensor_id, []))
+        return sum(r.nbytes for series in self._readings.values() for r in series)

@@ -1,0 +1,111 @@
+"""Workload generators for the four application scenarios and the benchmarks.
+
+Each generator bundles sensor simulation and labelling into arrays ready
+for training/evaluation, so benchmarks can sweep workload sizes without
+re-deriving the plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.sensors import (
+    CameraSensor,
+    PowerMeterSensor,
+    VehicleCameraSensor,
+    WearableIMUSensor,
+)
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class DetectionWorkload:
+    """Frames plus ground-truth boxes for the public-safety scenario."""
+
+    frames: np.ndarray               # (n, h, w, 1)
+    boxes: List[List[Tuple[float, float, float, float]]]
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.frames.nbytes)
+
+
+def object_detection_workload(frames: int = 50, frame_size: int = 32, seed: int = 0) -> DetectionWorkload:
+    """Surveillance-camera frames with bounding-box ground truth."""
+    if frames <= 0:
+        raise ConfigurationError("frames must be positive")
+    camera = CameraSensor(frame_size=frame_size, seed=seed)
+    readings = list(camera.stream(frames))
+    return DetectionWorkload(
+        frames=np.stack([r.payload for r in readings]),
+        boxes=[list(r.annotations["boxes"]) for r in readings],
+    )
+
+
+@dataclass
+class ActivityWorkload:
+    """IMU windows plus activity labels for the connected-health scenario."""
+
+    windows: np.ndarray   # (n, steps, channels)
+    labels: np.ndarray    # (n,)
+    num_classes: int
+
+
+def activity_recognition_workload(
+    samples: int = 200, steps: int = 20, channels: int = 6, seed: int = 0
+) -> ActivityWorkload:
+    """Wearable-IMU activity windows."""
+    if samples <= 0:
+        raise ConfigurationError("samples must be positive")
+    sensor = WearableIMUSensor(steps=steps, channels=channels, seed=seed)
+    readings = list(sensor.stream(samples))
+    return ActivityWorkload(
+        windows=np.stack([r.payload for r in readings]),
+        labels=np.array([r.annotations["activity"] for r in readings], dtype=np.int64),
+        num_classes=len(WearableIMUSensor.ACTIVITIES),
+    )
+
+
+@dataclass
+class PowerWorkload:
+    """Aggregate power readings plus appliance state labels for the smart home."""
+
+    power_w: np.ndarray           # (n,)
+    appliance_states: np.ndarray  # (n, appliances) boolean
+    appliance_names: Tuple[str, ...]
+
+
+def appliance_power_workload(samples: int = 500, seed: int = 0) -> PowerWorkload:
+    """Whole-home power trace with per-appliance on/off ground truth."""
+    if samples <= 0:
+        raise ConfigurationError("samples must be positive")
+    meter = PowerMeterSensor(seed=seed)
+    readings = list(meter.stream(samples))
+    return PowerWorkload(
+        power_w=np.array([float(r.payload[0]) for r in readings]),
+        appliance_states=np.array([r.annotations["appliance_states"] for r in readings], dtype=bool),
+        appliance_names=PowerMeterSensor.APPLIANCES,
+    )
+
+
+@dataclass
+class TrajectoryWorkload:
+    """Vehicle-camera frames plus the lead object's true positions."""
+
+    frames: np.ndarray      # (n, h, w, 1)
+    positions: np.ndarray   # (n, 2)
+
+
+def trajectory_workload(frames: int = 100, frame_size: int = 32, seed: int = 0) -> TrajectoryWorkload:
+    """Forward-camera frames with a smoothly moving lead object."""
+    if frames <= 0:
+        raise ConfigurationError("frames must be positive")
+    camera = VehicleCameraSensor(frame_size=frame_size, seed=seed)
+    readings = list(camera.stream(frames))
+    return TrajectoryWorkload(
+        frames=np.stack([r.payload for r in readings]),
+        positions=np.array([r.annotations["position"] for r in readings]),
+    )

@@ -1,0 +1,37 @@
+"""EI algorithms: models designed for resource-constrained edges.
+
+Section IV.A.2 of the paper surveys two families:
+
+* compact CNNs built from depthwise-separable convolutions and squeeze
+  modules (MobileNet, SqueezeNet, Xception) — implemented as builders
+  returning :class:`~repro.nn.model.Sequential` networks at configurable
+  scale (:mod:`repro.eialgorithms.mobilenet`,
+  :mod:`repro.eialgorithms.squeezenet`, plus the heavyweight reference
+  architectures in :mod:`repro.eialgorithms.reference`);
+* Microsoft Research India's tiny-footprint learners for IoT devices —
+  Bonsai (:mod:`repro.eialgorithms.bonsai`), ProtoNN
+  (:mod:`repro.eialgorithms.protonn`), FastGRNN
+  (:mod:`repro.eialgorithms.fastgrnn`) and EMI-RNN
+  (:mod:`repro.eialgorithms.emirnn`).
+"""
+
+from repro.eialgorithms.bonsai import BonsaiClassifier
+from repro.eialgorithms.emirnn import EMIRNNClassifier
+from repro.eialgorithms.fastgrnn import FastGRNNClassifier
+from repro.eialgorithms.mobilenet import build_mobilenet
+from repro.eialgorithms.protonn import ProtoNNClassifier
+from repro.eialgorithms.reference import build_alexnet_lite, build_lenet, build_mlp, build_vgg_lite
+from repro.eialgorithms.squeezenet import build_squeezenet
+
+__all__ = [
+    "BonsaiClassifier",
+    "EMIRNNClassifier",
+    "FastGRNNClassifier",
+    "ProtoNNClassifier",
+    "build_alexnet_lite",
+    "build_lenet",
+    "build_mlp",
+    "build_mobilenet",
+    "build_squeezenet",
+    "build_vgg_lite",
+]

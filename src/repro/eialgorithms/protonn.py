@@ -1,0 +1,140 @@
+"""ProtoNN: compressed, accurate kNN for resource-scarce devices (Gupta et al. 2017).
+
+ProtoNN replaces the full training set of a k-nearest-neighbour
+classifier with a small set of learned prototypes in a learned
+low-dimensional projection, scoring a point by an RBF-kernel-weighted sum
+of prototype label vectors.  This reimplementation keeps the full
+prediction rule and learns the prototypes by class-wise k-means in the
+projected space followed by gradient refinement of the prototype label
+matrix — preserving the kilobyte-scale footprint the paper cites
+("an Arduino UNO with 2 kB RAM").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class ProtoNNClassifier:
+    """Prototype-based nearest-neighbour classifier in a projected space."""
+
+    def __init__(
+        self,
+        projection_dim: int = 8,
+        prototypes_per_class: int = 3,
+        gamma: Optional[float] = None,
+        refine_epochs: int = 20,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if projection_dim <= 0 or prototypes_per_class <= 0:
+            raise ConfigurationError("projection_dim and prototypes_per_class must be positive")
+        if refine_epochs < 0 or learning_rate <= 0:
+            raise ConfigurationError("refine_epochs must be >= 0 and learning_rate positive")
+        self.projection_dim = int(projection_dim)
+        self.prototypes_per_class = int(prototypes_per_class)
+        self.gamma = gamma
+        self.refine_epochs = int(refine_epochs)
+        self.learning_rate = float(learning_rate)
+        self._rng = np.random.default_rng(seed)
+        self.projection: Optional[np.ndarray] = None
+        self.prototypes: Optional[np.ndarray] = None
+        self.prototype_labels: Optional[np.ndarray] = None
+        self.num_classes = 0
+        self.name = f"protonn-p{projection_dim}-m{prototypes_per_class}"
+
+    def _kmeans(self, points: np.ndarray, clusters: int, iterations: int = 15) -> np.ndarray:
+        """Plain Lloyd's k-means returning centroids."""
+        if len(points) <= clusters:
+            return points.copy()
+        idx = self._rng.choice(len(points), size=clusters, replace=False)
+        centroids = points[idx].copy()
+        for _ in range(iterations):
+            distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            assignment = distances.argmin(axis=1)
+            for cluster in range(clusters):
+                members = points[assignment == cluster]
+                if len(members):
+                    centroids[cluster] = members.mean(axis=0)
+        return centroids
+
+    def _similarities(self, z: np.ndarray) -> np.ndarray:
+        """RBF kernel similarities between projected points and prototypes."""
+        assert self.prototypes is not None
+        distances = ((z[:, None, :] - self.prototypes[None, :, :]) ** 2).sum(axis=2)
+        return np.exp(-self.gamma * distances)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ProtoNNClassifier":
+        """Fit projection, prototypes and prototype label vectors."""
+        if x.ndim != 2:
+            raise ShapeError("ProtoNNClassifier expects 2-D inputs")
+        y = y.astype(int)
+        self.num_classes = int(y.max()) + 1
+        features = x.shape[1]
+        self.projection = self._rng.normal(
+            0, 1.0 / np.sqrt(self.projection_dim), size=(features, self.projection_dim)
+        )
+        z = x @ self.projection
+
+        prototypes = []
+        labels = []
+        for cls in range(self.num_classes):
+            class_points = z[y == cls]
+            if len(class_points) == 0:
+                continue
+            centroids = self._kmeans(class_points, self.prototypes_per_class)
+            prototypes.append(centroids)
+            onehot = np.zeros((len(centroids), self.num_classes))
+            onehot[:, cls] = 1.0
+            labels.append(onehot)
+        self.prototypes = np.concatenate(prototypes)
+        self.prototype_labels = np.concatenate(labels)
+
+        if self.gamma is None:
+            median_dist = float(np.median(((z[:, None, :] - self.prototypes[None, :, :]) ** 2).sum(axis=2)))
+            self.gamma = 1.0 / max(median_dist, 1e-9)
+
+        # Gradient refinement of the prototype label matrix on squared loss.
+        onehot_y = np.zeros((len(y), self.num_classes))
+        onehot_y[np.arange(len(y)), y] = 1.0
+        for _ in range(self.refine_epochs):
+            similarities = self._similarities(z)
+            denom = similarities.sum(axis=1, keepdims=True) + 1e-12
+            weights = similarities / denom
+            predictions = weights @ self.prototype_labels
+            grad = weights.T @ (predictions - onehot_y) / len(z)
+            self.prototype_labels -= self.learning_rate * grad
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Similarity-weighted average of prototype label vectors, renormalized."""
+        if self.projection is None or self.prototypes is None or self.prototype_labels is None:
+            raise RuntimeError("fit must be called before predict")
+        z = x @ self.projection
+        similarities = self._similarities(z)
+        denom = similarities.sum(axis=1, keepdims=True) + 1e-12
+        scores = (similarities / denom) @ self.prototype_labels
+        scores = np.clip(scores, 1e-9, None)
+        return scores / scores.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return predicted class indices."""
+        return self.predict_proba(x).argmax(axis=1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float(np.mean(self.predict(x) == y.astype(int)))
+
+    def param_count(self) -> int:
+        """Projection + prototypes + prototype labels."""
+        if self.projection is None or self.prototypes is None or self.prototype_labels is None:
+            return 0
+        return int(self.projection.size + self.prototypes.size + self.prototype_labels.size)
+
+    def size_bytes(self, bytes_per_param: float = 4.0) -> float:
+        """Serialized size in bytes."""
+        return self.param_count() * bytes_per_param

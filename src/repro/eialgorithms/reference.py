@@ -1,0 +1,166 @@
+"""Reference (non-edge-optimized) architectures.
+
+These play the role of AlexNet / VGG in the paper: accurate but heavy
+baselines whose footprint motivates compression and the edge-native
+architectures.  They are scaled down to laptop-size inputs while keeping
+the characteristic depth/width ratios, so relative cost orderings
+(VGG ≫ AlexNet ≫ LeNet ≫ MobileNet) are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.nn.model import Sequential
+
+
+def _validate_image_shape(input_shape: Tuple[int, int, int], min_size: int) -> None:
+    if len(input_shape) != 3:
+        raise ConfigurationError("image input_shape must be (height, width, channels)")
+    if input_shape[0] < min_size or input_shape[1] < min_size:
+        raise ConfigurationError(f"input spatial size must be at least {min_size}")
+
+
+def build_mlp(
+    input_features: int,
+    num_classes: int,
+    hidden: Tuple[int, ...] = (128, 64),
+    dropout: float = 0.0,
+    seed: Optional[int] = 0,
+    name: str = "mlp",
+) -> Sequential:
+    """A plain multi-layer perceptron for tabular and flattened inputs."""
+    if input_features <= 0 or num_classes <= 1:
+        raise ConfigurationError("build_mlp requires positive features and >= 2 classes")
+    model = Sequential(name=name)
+    previous = input_features
+    for idx, width in enumerate(hidden):
+        model.add(Dense(previous, width, seed=None if seed is None else seed + idx))
+        model.add(ReLU())
+        if dropout > 0:
+            model.add(Dropout(dropout, seed=seed))
+        previous = width
+    model.add(Dense(previous, num_classes, seed=None if seed is None else seed + 100))
+    model.add(Softmax())
+    model.metadata["family"] = "mlp"
+    return model
+
+
+def build_lenet(
+    input_shape: Tuple[int, int, int] = (16, 16, 1),
+    num_classes: int = 4,
+    seed: Optional[int] = 0,
+    name: str = "lenet",
+) -> Sequential:
+    """LeNet-style small CNN: two conv blocks plus a dense head."""
+    _validate_image_shape(input_shape, 8)
+    _, _, channels = input_shape
+    model = Sequential(name=name)
+    model.add(Conv2D(channels, 6, kernel_size=3, seed=seed))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    model.add(Conv2D(6, 16, kernel_size=3, seed=None if seed is None else seed + 1))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    model.add(Flatten())
+    flat = (input_shape[0] // 4) * (input_shape[1] // 4) * 16
+    model.add(Dense(flat, 64, seed=None if seed is None else seed + 2))
+    model.add(ReLU())
+    model.add(Dense(64, num_classes, seed=None if seed is None else seed + 3))
+    model.add(Softmax())
+    model.metadata["family"] = "lenet"
+    return model
+
+
+def build_alexnet_lite(
+    input_shape: Tuple[int, int, int] = (16, 16, 1),
+    num_classes: int = 4,
+    width_multiplier: float = 1.0,
+    seed: Optional[int] = 0,
+    name: str = "alexnet-lite",
+) -> Sequential:
+    """AlexNet-shaped network: wide conv features and large dense head."""
+    _validate_image_shape(input_shape, 8)
+    if width_multiplier <= 0:
+        raise ConfigurationError("width_multiplier must be positive")
+    _, _, channels = input_shape
+    def w(width: int) -> int:
+        return max(1, int(round(width * width_multiplier)))
+
+    model = Sequential(name=name)
+    model.add(Conv2D(channels, w(24), kernel_size=3, seed=seed))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    model.add(Conv2D(w(24), w(48), kernel_size=3, seed=None if seed is None else seed + 1))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    model.add(Conv2D(w(48), w(64), kernel_size=3, seed=None if seed is None else seed + 2))
+    model.add(ReLU())
+    model.add(Flatten())
+    flat = (input_shape[0] // 4) * (input_shape[1] // 4) * w(64)
+    model.add(Dense(flat, w(256), seed=None if seed is None else seed + 3))
+    model.add(ReLU())
+    model.add(Dropout(0.3, seed=seed))
+    model.add(Dense(w(256), num_classes, seed=None if seed is None else seed + 4))
+    model.add(Softmax())
+    model.metadata["family"] = "alexnet"
+    return model
+
+
+def build_vgg_lite(
+    input_shape: Tuple[int, int, int] = (16, 16, 1),
+    num_classes: int = 4,
+    width_multiplier: float = 1.0,
+    seed: Optional[int] = 0,
+    name: str = "vgg-lite",
+) -> Sequential:
+    """VGG-shaped network: stacked 3x3 convolutions and a heavy dense head.
+
+    This is the reproduction's stand-in for the 500 MB VGG-16 the paper
+    uses to illustrate why heavyweight models do not fit the edge.
+    """
+    _validate_image_shape(input_shape, 16)
+    if width_multiplier <= 0:
+        raise ConfigurationError("width_multiplier must be positive")
+    _, _, channels = input_shape
+
+    def w(width: int) -> int:
+        return max(1, int(round(width * width_multiplier)))
+
+    model = Sequential(name=name)
+    model.add(Conv2D(channels, w(32), kernel_size=3, seed=seed))
+    model.add(ReLU())
+    model.add(Conv2D(w(32), w(32), kernel_size=3, seed=None if seed is None else seed + 1))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    model.add(Conv2D(w(32), w(64), kernel_size=3, seed=None if seed is None else seed + 2))
+    model.add(ReLU())
+    model.add(Conv2D(w(64), w(64), kernel_size=3, seed=None if seed is None else seed + 3))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    model.add(Conv2D(w(64), w(128), kernel_size=3, seed=None if seed is None else seed + 4))
+    model.add(ReLU())
+    model.add(Conv2D(w(128), w(128), kernel_size=3, seed=None if seed is None else seed + 5))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    model.add(Flatten())
+    flat = (input_shape[0] // 8) * (input_shape[1] // 8) * w(128)
+    model.add(Dense(flat, w(512), seed=None if seed is None else seed + 6))
+    model.add(ReLU())
+    model.add(Dropout(0.3, seed=seed))
+    model.add(Dense(w(512), w(256), seed=None if seed is None else seed + 7))
+    model.add(ReLU())
+    model.add(Dense(w(256), num_classes, seed=None if seed is None else seed + 8))
+    model.add(Softmax())
+    model.metadata["family"] = "vgg"
+    return model

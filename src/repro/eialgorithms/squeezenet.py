@@ -1,0 +1,58 @@
+"""SqueezeNet-style compact CNN (Iandola et al.).
+
+SqueezeNet reaches AlexNet-level accuracy with ~50x fewer parameters by
+replacing most 3x3 convolutions with "fire" modules: a narrow 1x1
+*squeeze* layer feeding a wider *expand* layer.  The Sequential engine
+has no branching, so the expand stage uses a single 3x3 convolution of
+the combined width, which keeps the parameter-count scaling (the property
+the selection and compression experiments rely on) while staying faithful
+to the squeeze-expand bottleneck structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Conv2D, Dense, GlobalAvgPool2D, MaxPool2D, ReLU, Softmax
+from repro.nn.model import Sequential
+
+
+def _fire_module(model: Sequential, in_channels: int, squeeze: int, expand: int, seed: Optional[int]) -> int:
+    """Append a squeeze (1x1) + expand (3x3) pair; return the output width."""
+    model.add(Conv2D(in_channels, squeeze, kernel_size=1, padding="valid", seed=seed))
+    model.add(ReLU())
+    model.add(Conv2D(squeeze, expand, kernel_size=3, seed=None if seed is None else seed + 1))
+    model.add(ReLU())
+    return expand
+
+
+def build_squeezenet(
+    input_shape: Tuple[int, int, int] = (16, 16, 1),
+    num_classes: int = 4,
+    fire_modules: Sequence[Tuple[int, int]] = ((8, 16), (8, 24), (12, 32)),
+    seed: Optional[int] = 0,
+    name: str = "squeezenet",
+) -> Sequential:
+    """Build a SqueezeNet-style classifier from (squeeze, expand) module widths."""
+    if len(input_shape) != 3:
+        raise ConfigurationError("input_shape must be (height, width, channels)")
+    if num_classes <= 1:
+        raise ConfigurationError("num_classes must be at least 2")
+    if not fire_modules:
+        raise ConfigurationError("at least one fire module is required")
+    _, _, in_channels = input_shape
+    model = Sequential(name=name)
+    model.add(Conv2D(in_channels, 8, kernel_size=3, seed=seed))
+    model.add(ReLU())
+    model.add(MaxPool2D(2))
+    previous = 8
+    for idx, (squeeze, expand) in enumerate(fire_modules):
+        previous = _fire_module(
+            model, previous, squeeze, expand, None if seed is None else seed + 10 * (idx + 1)
+        )
+    model.add(GlobalAvgPool2D())
+    model.add(Dense(previous, num_classes, seed=None if seed is None else seed + 100))
+    model.add(Softmax())
+    model.metadata["family"] = "squeezenet"
+    return model

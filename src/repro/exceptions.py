@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the OpenEI reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch framework failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class ShapeError(ReproError):
+    """A tensor or layer received data of an incompatible shape."""
+
+
+class ModelSelectionError(ReproError):
+    """The model selector could not find a model satisfying the constraints."""
+
+
+class DeploymentError(ReproError):
+    """OpenEI could not be deployed on the requested edge device."""
+
+
+class SchedulingError(ReproError):
+    """The edge runtime could not schedule or admit a task."""
+
+
+class ResourceExhaustedError(SchedulingError):
+    """A device ran out of memory, energy budget or compute capacity."""
+
+
+class MigrationError(ReproError):
+    """A computation-migration request could not be satisfied."""
+
+
+class SerializationError(ReproError):
+    """A model or dataset could not be serialized or deserialized."""
+
+
+class APIError(ReproError):
+    """A libei REST request was malformed or could not be dispatched."""
+
+
+class ResourceNotFoundError(APIError):
+    """A libei URL referenced an unknown algorithm, sensor or data range."""
+
+
+class CollaborationError(ReproError):
+    """A cloud-edge or edge-edge collaboration step failed."""

@@ -1,0 +1,107 @@
+"""Edge device and network-link specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Analytical description of one edge (or cloud) device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name (e.g. ``"raspberry-pi-4"``).
+    peak_gflops:
+        Peak sustainable compute throughput in GFLOP/s for dense
+        arithmetic.  Drives the compute roof of the latency model.
+    memory_bandwidth_gbps:
+        Main-memory bandwidth in GB/s.  Drives the memory roof.
+    memory_mb:
+        Usable RAM in MiB; models that do not fit are rejected.
+    idle_power_w / active_power_w:
+        Board power draw when idle and when running inference flat out;
+        the energy model integrates the difference over the inference time.
+    storage_mb:
+        Local storage available for model files and cached sensor data.
+    is_cloud:
+        Marks datacenter-class hardware (dataflow 1 of Fig. 3 offloads here).
+    tags:
+        Free-form labels the model selector can filter on (e.g. ``"gpu"``).
+    """
+
+    name: str
+    peak_gflops: float
+    memory_bandwidth_gbps: float
+    memory_mb: float
+    idle_power_w: float
+    active_power_w: float
+    storage_mb: float = 8192.0
+    is_cloud: bool = False
+    tags: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.memory_bandwidth_gbps <= 0:
+            raise ConfigurationError("device throughput figures must be positive")
+        if self.memory_mb <= 0 or self.storage_mb <= 0:
+            raise ConfigurationError("device memory and storage must be positive")
+        if self.active_power_w < self.idle_power_w or self.idle_power_w < 0:
+            raise ConfigurationError("active power must be >= idle power >= 0")
+
+    @property
+    def dynamic_power_w(self) -> float:
+        """Additional power drawn when computing (the paper's Energy attribute)."""
+        return self.active_power_w - self.idle_power_w
+
+    def describe(self) -> Dict[str, object]:
+        """Plain-dict summary used by libei's device resource endpoint."""
+        return {
+            "name": self.name,
+            "peak_gflops": self.peak_gflops,
+            "memory_bandwidth_gbps": self.memory_bandwidth_gbps,
+            "memory_mb": self.memory_mb,
+            "idle_power_w": self.idle_power_w,
+            "active_power_w": self.active_power_w,
+            "storage_mb": self.storage_mb,
+            "is_cloud": self.is_cloud,
+            "tags": list(self.tags),
+        }
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point network link between two devices (edge-cloud or edge-edge).
+
+    Used by the collaboration layer to charge transfer latency and by the
+    Fig. 1 / Fig. 3 benchmarks to compare offloading against on-edge
+    execution.
+    """
+
+    name: str
+    bandwidth_mbps: float
+    latency_ms: float
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0 or self.latency_ms < 0:
+            raise ConfigurationError("link bandwidth must be positive and latency non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError("loss_rate must lie in [0, 1)")
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        """Time to move ``payload_bytes`` across the link, including retransmissions."""
+        if payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be non-negative")
+        effective_bandwidth = self.bandwidth_mbps * (1.0 - self.loss_rate)
+        transfer = payload_bytes * 8.0 / (effective_bandwidth * 1e6)
+        return self.latency_ms / 1000.0 + transfer
+
+
+#: Common link presets used by examples and benchmarks.
+WAN_LINK = NetworkLink(name="edge-to-cloud-wan", bandwidth_mbps=20.0, latency_ms=60.0)
+LAN_LINK = NetworkLink(name="edge-to-edge-lan", bandwidth_mbps=200.0, latency_ms=2.0)
+CELLULAR_LINK = NetworkLink(name="edge-to-cloud-lte", bandwidth_mbps=8.0, latency_ms=90.0, loss_rate=0.02)

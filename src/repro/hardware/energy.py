@@ -1,0 +1,52 @@
+"""Energy model: the E of the ALEM tuple.
+
+The paper defines Energy as *the increased power consumption of the
+hardware when executing the inference task*, i.e. dynamic power
+integrated over inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Convert inference latency into joules of extra energy drawn.
+
+    ``utilization`` scales the dynamic power range: memory-bound models do
+    not drive the device to its full active power.
+    """
+
+    utilization: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigurationError("utilization must lie in (0, 1]")
+
+    def inference_joules(self, latency_seconds: float, device: DeviceSpec) -> float:
+        """Dynamic energy for one inference of the given latency."""
+        if latency_seconds < 0:
+            raise ConfigurationError("latency_seconds must be non-negative")
+        return latency_seconds * device.dynamic_power_w * self.utilization
+
+    def idle_joules(self, seconds: float, device: DeviceSpec) -> float:
+        """Baseline energy drawn while idle for ``seconds``."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be non-negative")
+        return seconds * device.idle_power_w
+
+    def battery_lifetime_hours(
+        self, device: DeviceSpec, battery_wh: float, inferences_per_hour: float, latency_seconds: float
+    ) -> float:
+        """Hours a battery lasts under a periodic inference workload."""
+        if battery_wh <= 0 or inferences_per_hour < 0:
+            raise ConfigurationError("battery_wh must be positive and rate non-negative")
+        hourly_joules = (
+            self.idle_joules(3600.0, device)
+            + inferences_per_hour * self.inference_joules(latency_seconds, device)
+        )
+        return battery_wh * 3600.0 / hourly_joules

@@ -1,0 +1,38 @@
+"""Memory-footprint model: the M of the ALEM tuple."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.device import DeviceSpec
+from repro.nn.flops import ModelCost
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Estimate resident memory when running a model.
+
+    The footprint is the model's weights plus peak activations plus the
+    package's own runtime overhead (interpreter, kernels, buffers) —
+    the quantity the paper's Memory-footprint attribute measures.
+    """
+
+    runtime_overhead_mb: float = 24.0
+    activation_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.runtime_overhead_mb < 0 or self.activation_multiplier <= 0:
+            raise ConfigurationError("memory model parameters must be non-negative/positive")
+
+    def footprint_mb(self, cost: ModelCost, batch_size: int = 1) -> float:
+        """Resident megabytes while executing inference."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        weights_mb = cost.size_bytes / (1024.0**2)
+        activations_mb = cost.activation_bytes * batch_size * self.activation_multiplier / (1024.0**2)
+        return self.runtime_overhead_mb + weights_mb + activations_mb
+
+    def fits(self, cost: ModelCost, device: DeviceSpec, batch_size: int = 1) -> bool:
+        """True when the model's footprint fits the device's RAM."""
+        return self.footprint_mb(cost, batch_size) <= device.memory_mb

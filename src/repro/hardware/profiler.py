@@ -1,0 +1,158 @@
+"""ALEM profiler: measure a (model, package-configuration, device) point.
+
+The profiler produces the Latency, Energy and Memory-footprint entries of
+the paper's ALEM tuple from the analytical models in this package;
+Accuracy is task-specific and is attached by
+:mod:`repro.core.capability`, which evaluates the model on held-out data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import LatencyModel
+from repro.hardware.memory import MemoryModel
+from repro.nn.flops import ModelCost, model_cost
+from repro.nn.model import Sequential
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """The hardware-dependent part of an ALEM measurement."""
+
+    model_name: str
+    device_name: str
+    package_name: str
+    latency_s: float
+    energy_j: float
+    memory_mb: float
+    fits_in_memory: bool
+    cost: ModelCost
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view used by libei and the benchmark harnesses."""
+        return {
+            "model": self.model_name,
+            "device": self.device_name,
+            "package": self.package_name,
+            "latency_s": self.latency_s,
+            "energy_j": self.energy_j,
+            "memory_mb": self.memory_mb,
+            "fits_in_memory": self.fits_in_memory,
+            "params": self.cost.params,
+            "flops": self.cost.flops,
+            "size_mb": self.cost.size_mb,
+        }
+
+
+class ALEMProfiler:
+    """Profile models against devices under a named package configuration.
+
+    ``package_efficiency`` and ``dispatch_overhead_s`` describe the
+    deployed deep-learning package; the OpenEI package manager registers
+    one profiler per package configuration it supports (eager, fused,
+    quantized, ...), which is how the pCAMP-style comparison (bench S2)
+    is realized.
+    """
+
+    def __init__(
+        self,
+        package_name: str = "openei-lite",
+        package_efficiency: float = 0.35,
+        dispatch_overhead_s: float = 0.002,
+        runtime_overhead_mb: float = 24.0,
+        latency_model: Optional[LatencyModel] = None,
+        energy_model: Optional[EnergyModel] = None,
+        memory_model: Optional[MemoryModel] = None,
+    ) -> None:
+        if not 0.0 < package_efficiency <= 1.0:
+            raise ConfigurationError("package_efficiency must lie in (0, 1]")
+        self.package_name = package_name
+        self.package_efficiency = float(package_efficiency)
+        self.latency_model = latency_model or LatencyModel(dispatch_overhead_s=dispatch_overhead_s)
+        self.energy_model = energy_model or EnergyModel()
+        self.memory_model = memory_model or MemoryModel(runtime_overhead_mb=runtime_overhead_mb)
+
+    def profile(
+        self,
+        model: Sequential,
+        input_shape: Tuple[int, ...],
+        device: DeviceSpec,
+        batch_size: int = 1,
+        bytes_per_param: float = 4.0,
+    ) -> ProfileResult:
+        """Profile one (model, device) point under this package configuration."""
+        cost = model_cost(model, input_shape, bytes_per_param=bytes_per_param)
+        latency = self.latency_model.inference_seconds(
+            cost, device, package_efficiency=self.package_efficiency, batch_size=batch_size
+        )
+        energy = self.energy_model.inference_joules(latency, device)
+        memory = self.memory_model.footprint_mb(cost, batch_size=batch_size)
+        return ProfileResult(
+            model_name=model.name,
+            device_name=device.name,
+            package_name=self.package_name,
+            latency_s=latency,
+            energy_j=energy,
+            memory_mb=memory,
+            fits_in_memory=self.memory_model.fits(cost, device, batch_size=batch_size),
+            cost=cost,
+        )
+
+    def profile_training(
+        self,
+        model: Sequential,
+        input_shape: Tuple[int, ...],
+        device: DeviceSpec,
+        samples: int,
+        epochs: int = 1,
+        bytes_per_param: float = 4.0,
+    ) -> float:
+        """Estimated seconds to locally (re)train ``model`` on the device."""
+        cost = model_cost(model, input_shape, bytes_per_param=bytes_per_param)
+        return self.latency_model.training_seconds(
+            cost,
+            device,
+            samples=samples,
+            epochs=epochs,
+            package_efficiency=self.package_efficiency,
+        )
+
+
+#: Package configurations used across examples and benchmarks.  The
+#: "cloud-framework" entry models a heavyweight framework deployed on the
+#: edge unchanged; "openei-lite" the paper's edge-optimized package; the
+#: fused/quantized variants trade runtime memory for speed (pre-fused
+#: kernels, int8 code paths) — the "packages sacrifice memory to reduce
+#: latency" observation of Section IV.B, which is why no configuration
+#: wins every ALEM dimension (bench S2).
+PACKAGE_CONFIGURATIONS: Dict[str, Dict[str, float]] = {
+    "cloud-framework": {
+        "package_efficiency": 0.18, "dispatch_overhead_s": 0.020, "runtime_overhead_mb": 220.0,
+    },
+    "openei-lite": {
+        "package_efficiency": 0.35, "dispatch_overhead_s": 0.002, "runtime_overhead_mb": 18.0,
+    },
+    "openei-lite-fused": {
+        "package_efficiency": 0.50, "dispatch_overhead_s": 0.001, "runtime_overhead_mb": 42.0,
+    },
+    "openei-lite-quantized": {
+        "package_efficiency": 0.60, "dispatch_overhead_s": 0.001, "runtime_overhead_mb": 30.0,
+    },
+}
+
+
+def make_profiler(package_name: str) -> ALEMProfiler:
+    """Build a profiler for one of the named package configurations."""
+    try:
+        config = PACKAGE_CONFIGURATIONS[package_name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown package configuration {package_name!r}; "
+            f"choose from {sorted(PACKAGE_CONFIGURATIONS)}"
+        ) from exc
+    return ALEMProfiler(package_name=package_name, **config)

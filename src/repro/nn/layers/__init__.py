@@ -1,0 +1,35 @@
+"""Layer library for the lightweight deep-learning package."""
+
+from repro.nn.layers.activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.layers.base import Layer, ParametricLayer
+from repro.nn.layers.conv import Conv2D, DepthwiseConv2D, SeparableConv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.lstm import LSTMClassifier, LSTMLayer
+from repro.nn.layers.normalization import BatchNorm
+from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.layers.recurrent import GRUCellLayer, SimpleRNN
+from repro.nn.layers.reshaping import Dropout, Flatten
+
+__all__ = [
+    "AvgPool2D",
+    "BatchNorm",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "Dropout",
+    "Flatten",
+    "GRUCellLayer",
+    "GlobalAvgPool2D",
+    "LSTMClassifier",
+    "LSTMLayer",
+    "Layer",
+    "LeakyReLU",
+    "MaxPool2D",
+    "ParametricLayer",
+    "ReLU",
+    "SeparableConv2D",
+    "Sigmoid",
+    "SimpleRNN",
+    "Softmax",
+    "Tanh",
+]

@@ -1,0 +1,125 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    kind = "activation"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = inputs > 0
+        return np.maximum(inputs, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky rectified linear unit with configurable negative slope."""
+
+    kind = "activation"
+
+    def __init__(self, alpha: float = 0.01, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.alpha = float(alpha)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = inputs > 0
+        return np.where(inputs > 0, inputs, self.alpha * inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * np.where(self._mask, 1.0, self.alpha)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    kind = "activation"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(inputs, -60.0, 60.0)))
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    kind = "activation"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(inputs)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * (1.0 - self._out**2)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis.
+
+    Intended as the final layer of classifiers.  When paired with
+    :class:`~repro.nn.losses.CrossEntropyLoss` the loss computes the
+    combined gradient directly, so :meth:`backward` simply passes the
+    gradient through; used standalone it applies the full Jacobian.
+    """
+
+    kind = "activation"
+
+    def __init__(self, pass_through_grad: bool = True, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.pass_through_grad = bool(pass_through_grad)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        shifted = inputs - inputs.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=-1, keepdims=True)
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        if self.pass_through_grad:
+            return grad_output
+        dot = (grad_output * self._out).sum(axis=-1, keepdims=True)
+        return self._out * (grad_output - dot)

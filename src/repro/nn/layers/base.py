@@ -1,0 +1,120 @@
+"""Layer abstraction used by every network in the reproduction.
+
+A :class:`Layer` exposes ``forward``/``backward`` and, for parametric
+layers, ``params`` and ``grads`` dictionaries keyed by parameter name.
+The convention mirrors classic minimal frameworks: ``backward`` receives
+the gradient of the loss with respect to the layer's output and returns
+the gradient with respect to its input, accumulating parameter gradients
+internally for the optimizer to consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses must implement :meth:`forward` and :meth:`backward`.
+    Non-parametric layers (activations, pooling, reshaping) inherit the
+    empty ``params``/``grads`` behaviour from this class.
+    """
+
+    #: human-readable layer kind, overridden by subclasses.
+    kind = "layer"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or self.__class__.__name__
+        self.trainable = True
+
+    # -- interface -----------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch of inputs."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``grad_output`` back through the layer."""
+        raise NotImplementedError
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trainable parameters, keyed by name (empty for stateless layers)."""
+        return {}
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :attr:`params` (empty for stateless layers)."""
+        return {}
+
+    # -- cost accounting ------------------------------------------------
+    def param_count(self) -> int:
+        """Number of scalar trainable parameters in the layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def flops(self, input_shape: Tuple[int, ...]) -> int:
+        """Estimated multiply-accumulate count for one sample.
+
+        Stateless layers default to one operation per input element,
+        which keeps the analytical latency model monotone in tensor size.
+        """
+        return int(np.prod(input_shape))
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape (excluding batch dimension) produced for ``input_shape``."""
+        return input_shape
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _require_ndim(inputs: np.ndarray, ndim: int, who: str) -> None:
+        if inputs.ndim != ndim:
+            raise ShapeError(
+                f"{who} expects {ndim}-D input (including batch); got shape {inputs.shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} name={self.name!r} params={self.param_count()}>"
+
+
+class ParametricLayer(Layer):
+    """Base class for layers holding trainable parameters.
+
+    Stores parameters and gradients in dictionaries so optimizers,
+    serializers and compression passes can treat all layers uniformly.
+    """
+
+    kind = "parametric"
+
+    def __init__(self, name: Optional[str] = None, seed: Optional[int] = None) -> None:
+        super().__init__(name=name)
+        self._params: Dict[str, np.ndarray] = {}
+        self._grads: Dict[str, np.ndarray] = {}
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        return self._params
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        return self._grads
+
+    def set_param(self, key: str, value: np.ndarray) -> None:
+        """Replace a parameter in place (used by compression and serialization)."""
+        if key not in self._params:
+            raise KeyError(f"layer {self.name!r} has no parameter {key!r}")
+        if value.shape != self._params[key].shape:
+            raise ShapeError(
+                f"parameter {key!r} of layer {self.name!r} has shape "
+                f"{self._params[key].shape}; got {value.shape}"
+            )
+        self._params[key] = np.asarray(value, dtype=np.float64)
+
+    def zero_grads(self) -> None:
+        """Reset all accumulated gradients to zero."""
+        for key, value in self._params.items():
+            self._grads[key] = np.zeros_like(value)

@@ -1,0 +1,68 @@
+"""Reshaping and regularization layers: Flatten and Dropout."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions into a single feature axis."""
+
+    kind = "reshaping"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output.reshape(self._input_shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+    def flops(self, input_shape: Tuple[int, ...]) -> int:
+        del input_shape
+        return 0
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only during training."""
+
+    kind = "regularization"
+
+    def __init__(self, rate: float = 0.5, seed: Optional[int] = None, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError("dropout rate must lie in [0, 1)")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def flops(self, input_shape: Tuple[int, ...]) -> int:
+        del input_shape
+        return 0

@@ -1,0 +1,116 @@
+"""Gradient-descent optimizers for the lightweight deep-learning package."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Layer
+
+
+class Optimizer:
+    """Base class: iterates over layers and applies per-parameter updates."""
+
+    def __init__(self, learning_rate: float = 0.01) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.iterations = 0
+
+    def step(self, layers: Iterable[Layer]) -> None:
+        """Apply one update using each layer's accumulated gradients."""
+        for layer in layers:
+            if not layer.trainable:
+                continue
+            params = layer.params
+            grads = layer.grads
+            for key, value in params.items():
+                grad = grads.get(key)
+                if grad is None:
+                    continue
+                params[key][...] = self._update((id(layer), key), value, grad)
+        self.iterations += 1
+
+    def _update(self, slot: Tuple[int, str], param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def _update(self, slot, param, grad):
+        del slot
+        return param - self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must lie in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update(self, slot, param, grad):
+        velocity = self._velocity.get(slot)
+        if velocity is None:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        self._velocity[slot] = velocity
+        return param + velocity
+
+
+class RMSProp(Optimizer):
+    """RMSProp with a running average of squared gradients."""
+
+    def __init__(self, learning_rate: float = 0.001, decay: float = 0.9, epsilon: float = 1e-8) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError("decay must lie in (0, 1)")
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._avg_sq: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update(self, slot, param, grad):
+        avg = self._avg_sq.get(slot)
+        if avg is None:
+            avg = np.zeros_like(param)
+        avg = self.decay * avg + (1.0 - self.decay) * grad**2
+        self._avg_sq[slot] = avg
+        return param - self.learning_rate * grad / (np.sqrt(avg) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("beta1 and beta2 must lie in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[Tuple[int, str], np.ndarray] = {}
+        self._v: Dict[Tuple[int, str], np.ndarray] = {}
+        self._t: Dict[Tuple[int, str], int] = {}
+
+    def _update(self, slot, param, grad):
+        m = self._m.get(slot, np.zeros_like(param))
+        v = self._v.get(slot, np.zeros_like(param))
+        t = self._t.get(slot, 0) + 1
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+        self._m[slot], self._v[slot], self._t[slot] = m, v, t
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        return param - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,74 @@
+"""Model weight serialization.
+
+OpenEI downloads models from the cloud simulator and uploads retrained
+edge models back; both paths go through this module.  Only weights and
+lightweight metadata are serialized (as ``.npz``); the architecture is
+reconstructed by the caller, which is how edge deployments keep the
+package lightweight.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.nn.model import Sequential
+
+PathLike = Union[str, Path]
+
+_METADATA_KEY = "__metadata_json__"
+
+
+def save_weights(model: Sequential, path: PathLike) -> Path:
+    """Persist the model's weights and metadata to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    weights = model.get_weights()
+    try:
+        metadata = json.dumps({"name": model.name, **_jsonable(model.metadata)})
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"model metadata is not JSON-serializable: {exc}") from exc
+    arrays = dict(weights)
+    arrays[_METADATA_KEY] = np.frombuffer(metadata.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_weights(model: Sequential, path: PathLike) -> Sequential:
+    """Load weights saved by :func:`save_weights` into ``model`` (in place)."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"weight file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        weights: Dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == _METADATA_KEY:
+                metadata = json.loads(bytes(archive[key]).decode("utf-8"))
+                model.metadata.update({k: v for k, v in metadata.items() if k != "name"})
+                continue
+            weights[key] = archive[key]
+    try:
+        model.set_weights(weights)
+    except (KeyError, IndexError, ValueError) as exc:
+        raise SerializationError(f"weights in {path} do not match the model architecture") from exc
+    return model
+
+
+def weights_nbytes(model: Sequential) -> int:
+    """Exact in-memory byte count of the model's float64 parameters."""
+    return int(sum(value.nbytes for value in model.get_weights().values()))
+
+
+def _jsonable(metadata: Dict[str, object]) -> Dict[str, object]:
+    """Convert NumPy scalar metadata values to plain Python types."""
+    converted: Dict[str, object] = {}
+    for key, value in metadata.items():
+        if isinstance(value, (np.integer, np.floating)):
+            converted[key] = value.item()
+        else:
+            converted[key] = value
+    return converted

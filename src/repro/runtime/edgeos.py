@@ -1,0 +1,105 @@
+"""EdgeRuntime: the lightweight edge operating environment OpenEI deploys onto.
+
+It bundles a device spec, a resource accountant and a priority scheduler,
+and offers the operations the paper requires of a running environment:
+executing (inference/training) workloads, allocating resources,
+reporting utilization, and handing work to the migration planner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import SchedulingError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.energy import EnergyModel
+from repro.runtime.resources import ResourceAccountant, ResourceUsage
+from repro.runtime.scheduler import PriorityScheduler, promote_to_realtime
+from repro.runtime.tasks import Task, TaskPriority
+
+
+class EdgeRuntime:
+    """The per-device runtime facade."""
+
+    def __init__(self, device: DeviceSpec, name: Optional[str] = None) -> None:
+        self.device = device
+        self.name = name or f"runtime@{device.name}"
+        self.accountant = ResourceAccountant(device)
+        self.scheduler = PriorityScheduler(self.accountant)
+        self.energy_model = EnergyModel()
+        self._installed_models: Dict[str, float] = {}
+
+    # -- model installation ------------------------------------------------
+    def install_model(self, model_name: str, size_mb: float) -> None:
+        """Store a model file locally (consumes storage)."""
+        self.accountant.store(size_mb)
+        self._installed_models[model_name] = size_mb
+
+    def uninstall_model(self, model_name: str) -> None:
+        """Remove a locally stored model."""
+        size = self._installed_models.pop(model_name, 0.0)
+        self.accountant.free(size)
+
+    @property
+    def installed_models(self) -> List[str]:
+        """Names of locally stored models."""
+        return sorted(self._installed_models)
+
+    # -- task execution ------------------------------------------------------
+    def submit(self, task: Task, realtime: bool = False) -> Task:
+        """Queue a task; ``realtime=True`` invokes the real-time ML module."""
+        if realtime:
+            promote_to_realtime(task)
+        return self.scheduler.submit(task)
+
+    def run_inference(
+        self,
+        name: str,
+        latency_s: float,
+        memory_mb: float,
+        energy_j: float = 0.0,
+        deadline_s: Optional[float] = None,
+        realtime: bool = False,
+    ) -> Task:
+        """Submit and immediately execute one inference task, charging energy."""
+        task = Task(
+            name=name,
+            compute_seconds=latency_s,
+            memory_mb=memory_mb,
+            deadline_s=deadline_s,
+            kind="inference",
+            priority=TaskPriority.REALTIME if realtime else TaskPriority.NORMAL,
+        )
+        self.scheduler.submit(task)
+        executed = self.scheduler.run_next()
+        if executed is None:  # pragma: no cover - defensive
+            raise SchedulingError("scheduler had no task to run")
+        self.accountant.charge_energy(energy_j)
+        return executed
+
+    def run_pending(self) -> List[Task]:
+        """Drain the scheduler queue."""
+        return self.scheduler.run_all()
+
+    # -- reporting --------------------------------------------------------------
+    def usage(self) -> ResourceUsage:
+        """Resource snapshot for capability evaluation and the libei device endpoint."""
+        return self.accountant.usage()
+
+    def clock(self) -> float:
+        """Virtual time elapsed on this runtime."""
+        return self.scheduler.clock
+
+    def describe(self) -> Dict[str, object]:
+        """Summary dictionary exposed through libei."""
+        usage = self.usage()
+        return {
+            "runtime": self.name,
+            "device": self.device.describe(),
+            "installed_models": self.installed_models,
+            "memory_utilization": usage.memory_utilization,
+            "storage_utilization": usage.storage_utilization,
+            "energy_joules": usage.energy_joules,
+            "virtual_time_s": self.clock(),
+            "pending_tasks": self.scheduler.pending_count(),
+        }

@@ -1,0 +1,127 @@
+"""Priority scheduler with the real-time machine-learning boost.
+
+The scheduler runs in *virtual time*: tasks carry their execution cost in
+seconds and the scheduler advances a clock as it executes them on a
+single device.  Priorities are strict — a REALTIME task always runs
+before anything of lower priority — which is how the package manager's
+real-time module "sets the machine learning task to the highest priority
+to ensure that it has as many computing resources as possible".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import SchedulingError
+from repro.runtime.resources import ResourceAccountant
+from repro.runtime.tasks import Task, TaskPriority, TaskState
+
+
+@dataclass(order=True)
+class ScheduleEntry:
+    """Heap entry ordering tasks by (priority desc, submission time, id)."""
+
+    sort_key: tuple
+    task: Task = field(compare=False)
+
+
+class PriorityScheduler:
+    """Single-device, non-preemptive strict-priority scheduler in virtual time."""
+
+    def __init__(self, accountant: ResourceAccountant) -> None:
+        self.accountant = accountant
+        self._queue: List[ScheduleEntry] = []
+        self._clock = 0.0
+        self._sequence = itertools.count()
+        self.completed: List[Task] = []
+        self.failed: List[Task] = []
+
+    # -- submission ------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Current virtual time in seconds."""
+        return self._clock
+
+    def submit(self, task: Task, at_time: Optional[float] = None) -> Task:
+        """Queue a task for execution.
+
+        ``at_time`` defaults to the current virtual clock; it may not lie
+        in the past.
+        """
+        when = self._clock if at_time is None else float(at_time)
+        if when < self._clock:
+            raise SchedulingError("cannot submit a task in the past")
+        task.submitted_at = when
+        task.state = TaskState.PENDING
+        entry = ScheduleEntry(
+            sort_key=(-int(task.priority), when, next(self._sequence)),
+            task=task,
+        )
+        heapq.heappush(self._queue, entry)
+        return task
+
+    def pending_count(self) -> int:
+        """Number of queued tasks."""
+        return len(self._queue)
+
+    # -- execution --------------------------------------------------------
+    def _execute(self, task: Task) -> None:
+        start = max(self._clock, task.submitted_at)
+        try:
+            self.accountant.reserve_memory(task.task_id, task.memory_mb)
+        except Exception:
+            task.state = TaskState.FAILED
+            self.failed.append(task)
+            return
+        task.state = TaskState.RUNNING
+        task.started_at = start
+        self._clock = start + task.compute_seconds
+        task.finished_at = self._clock
+        task.state = TaskState.COMPLETED
+        self.accountant.release_memory(task.task_id)
+        self.completed.append(task)
+
+    def run_next(self) -> Optional[Task]:
+        """Execute the highest-priority pending task; returns it (or None)."""
+        if not self._queue:
+            return None
+        entry = heapq.heappop(self._queue)
+        self._execute(entry.task)
+        return entry.task
+
+    def run_all(self) -> List[Task]:
+        """Drain the queue, returning tasks in execution order."""
+        executed = []
+        while self._queue:
+            task = self.run_next()
+            if task is not None:
+                executed.append(task)
+        return executed
+
+    # -- reporting ----------------------------------------------------------
+    def completion_times(self, kind: Optional[str] = None) -> Dict[str, float]:
+        """Map task name -> completion time for completed tasks (optionally by kind)."""
+        times = {}
+        for task in self.completed:
+            if kind is not None and task.kind != kind:
+                continue
+            if task.completion_time is not None:
+                times[f"{task.name}#{task.task_id}"] = task.completion_time
+        return times
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-bearing completed tasks that missed their deadline."""
+        with_deadline = [t for t in self.completed if t.deadline_s is not None]
+        if not with_deadline:
+            return 0.0
+        missed = sum(1 for t in with_deadline if not t.met_deadline)
+        return missed / len(with_deadline)
+
+
+def promote_to_realtime(task: Task) -> Task:
+    """The real-time ML module's operation: raise a task to REALTIME priority."""
+    task.priority = TaskPriority.REALTIME
+    return task

@@ -1,0 +1,89 @@
+"""Task model for the edge runtime."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+_task_ids = itertools.count(1)
+
+
+class TaskPriority(enum.IntEnum):
+    """Scheduling priority classes.
+
+    ``REALTIME`` is reserved for the package manager's real-time
+    machine-learning module (Section III.B): tasks promoted to it preempt
+    everything else so urgent inferences meet their latency target.
+    """
+
+    BACKGROUND = 0
+    NORMAL = 1
+    HIGH = 2
+    REALTIME = 3
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the runtime."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    MIGRATED = "migrated"
+
+
+@dataclass
+class Task:
+    """A unit of work submitted to an edge runtime.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (e.g. ``"safety/detection"``).
+    compute_seconds:
+        Pure execution time the task needs on the target device.
+    memory_mb:
+        Resident memory while running.
+    priority:
+        Scheduling class; see :class:`TaskPriority`.
+    deadline_s:
+        Optional relative deadline (from submission, in virtual seconds).
+    kind:
+        Free-form label: ``"inference"``, ``"training"``, ``"data"``, ...
+    """
+
+    name: str
+    compute_seconds: float
+    memory_mb: float = 1.0
+    priority: TaskPriority = TaskPriority.NORMAL
+    deadline_s: Optional[float] = None
+    kind: str = "inference"
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    state: TaskState = TaskState.PENDING
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds < 0 or self.memory_mb < 0:
+            raise ConfigurationError("compute_seconds and memory_mb must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive when given")
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Virtual seconds from submission to completion, if finished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the task finished within its deadline (None when no deadline)."""
+        if self.deadline_s is None or self.completion_time is None:
+            return None
+        return self.completion_time <= self.deadline_s

@@ -1,0 +1,29 @@
+"""libei: the RESTful API of Fig. 6.
+
+Every resource — algorithms, data, models, the device itself — is a URL:
+
+* ``/ei_algorithms/<scenario>/<algorithm>/{json-args}`` runs a registered
+  scenario algorithm;
+* ``/ei_data/realtime/<sensor_id>/{timestamp}`` returns the newest sensor
+  reading;
+* ``/ei_data/historical/<sensor_id>/{start,end}`` returns a time window;
+* ``/ei_status`` describes the deployed OpenEI instance.
+
+:mod:`repro.serving.api` parses and dispatches URLs against an
+:class:`~repro.core.openei.OpenEI` instance without any network;
+:mod:`repro.serving.server` exposes the same dispatcher over a threaded
+stdlib HTTP server, and :mod:`repro.serving.client` is a small urllib
+client for it.
+"""
+
+from repro.serving.api import LibEIDispatcher, ParsedRequest, parse_path
+from repro.serving.client import LibEIClient
+from repro.serving.server import LibEIServer
+
+__all__ = [
+    "LibEIClient",
+    "LibEIDispatcher",
+    "LibEIServer",
+    "ParsedRequest",
+    "parse_path",
+]

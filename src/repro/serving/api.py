@@ -1,0 +1,149 @@
+"""URL grammar and dispatcher for libei (Fig. 6).
+
+The grammar has four fields after the host: resource type
+(``ei_algorithms`` or ``ei_data``), then either scenario + algorithm or
+data type + sensor id, followed by an optional argument segment.  The
+argument segment accepts both the figure's ``{key=value}`` style and a
+query string, so the exact example URLs from the paper parse unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlparse
+
+from repro.core.openei import OpenEI
+from repro.exceptions import APIError, ResourceNotFoundError
+
+
+@dataclass
+class ParsedRequest:
+    """A parsed libei URL."""
+
+    resource_type: str            # "ei_algorithms" | "ei_data" | "ei_status"
+    scenario: Optional[str] = None
+    algorithm: Optional[str] = None
+    data_type: Optional[str] = None       # "realtime" | "historical"
+    sensor_id: Optional[str] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+def _parse_args(segment: str, query: str) -> Dict[str, object]:
+    """Parse the trailing argument segment plus any query string."""
+    args: Dict[str, object] = {}
+    segment = unquote(segment).strip()
+    if segment:
+        body = segment[1:-1] if segment.startswith("{") and segment.endswith("}") else segment
+        if body:
+            try:
+                args.update(json.loads("{" + body + "}"))
+            except json.JSONDecodeError:
+                for part in body.split(","):
+                    if not part:
+                        continue
+                    key, _, value = part.partition("=")
+                    args[key.strip()] = _coerce(value.strip())
+    for key, value in parse_qsl(query):
+        args[key] = _coerce(value)
+    return args
+
+
+def _coerce(value: str) -> object:
+    """Best-effort conversion of a string argument to int/float/bool."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def parse_path(path: str) -> ParsedRequest:
+    """Parse a libei URL path into a :class:`ParsedRequest`.
+
+    Raises
+    ------
+    APIError
+        If the path does not follow the Fig. 6 grammar.
+    """
+    parsed = urlparse(path)
+    segments = [s for s in parsed.path.split("/") if s]
+    if not segments:
+        raise APIError("empty request path")
+    resource = segments[0]
+    if resource == "ei_status":
+        return ParsedRequest(resource_type="ei_status", args=_parse_args("", parsed.query))
+    if resource == "ei_algorithms":
+        if len(segments) < 3:
+            raise APIError(
+                "algorithm calls follow /ei_algorithms/<scenario>/<algorithm>/{args}"
+            )
+        args_segment = segments[3] if len(segments) > 3 else ""
+        return ParsedRequest(
+            resource_type="ei_algorithms",
+            scenario=segments[1],
+            algorithm=segments[2],
+            args=_parse_args(args_segment, parsed.query),
+        )
+    if resource == "ei_data":
+        if len(segments) < 3:
+            raise APIError("data calls follow /ei_data/<realtime|historical>/<sensor>/{args}")
+        data_type = segments[1]
+        if data_type not in ("realtime", "historical"):
+            raise APIError(f"unknown data type {data_type!r}; use 'realtime' or 'historical'")
+        args_segment = segments[3] if len(segments) > 3 else ""
+        return ParsedRequest(
+            resource_type="ei_data",
+            data_type=data_type,
+            sensor_id=segments[2],
+            args=_parse_args(args_segment, parsed.query),
+        )
+    raise APIError(f"unknown resource type {resource!r}")
+
+
+class LibEIDispatcher:
+    """Dispatch parsed requests against a deployed OpenEI instance."""
+
+    def __init__(self, openei: OpenEI) -> None:
+        self.openei = openei
+
+    def handle_path(self, path: str) -> Dict[str, object]:
+        """Parse and dispatch a URL path, returning a JSON-serializable response."""
+        return self.handle(parse_path(path))
+
+    def handle(self, request: ParsedRequest) -> Dict[str, object]:
+        """Dispatch a parsed request."""
+        if request.resource_type == "ei_status":
+            return {"status": "ok", "openei": self.openei.describe()}
+        if request.resource_type == "ei_algorithms":
+            assert request.scenario is not None and request.algorithm is not None
+            result = self.openei.call_algorithm(request.scenario, request.algorithm, request.args)
+            return {"status": "ok", "scenario": request.scenario, "algorithm": request.algorithm,
+                    "result": result}
+        if request.resource_type == "ei_data":
+            assert request.sensor_id is not None
+            if request.data_type == "realtime":
+                data = self.openei.get_realtime_data(request.sensor_id)
+            else:
+                start = float(request.args.get("start", 0.0))
+                end_arg = request.args.get("end")
+                end = float(end_arg) if end_arg is not None else None
+                data = self.openei.get_historical_data(request.sensor_id, start, end)
+            return {"status": "ok", "data": data}
+        raise APIError(f"unhandled resource type {request.resource_type!r}")
+
+    def safe_handle_path(self, path: str) -> tuple:
+        """Like :meth:`handle_path` but returning ``(http_status, body_dict)``."""
+        try:
+            return 200, self.handle_path(path)
+        except ResourceNotFoundError as exc:
+            return 404, {"status": "error", "error": str(exc)}
+        except APIError as exc:
+            return 400, {"status": "error", "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - the server must not crash on handler bugs
+            return 500, {"status": "error", "error": f"{type(exc).__name__}: {exc}"}

@@ -1,0 +1,76 @@
+"""A small urllib-based client for libei endpoints.
+
+This is what "other edges and IoT devices" use to call a peer's
+algorithms and read its data (Section III.D) — and what the Fig. 6
+benchmark uses to measure round-trip latency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import APIError
+
+
+class LibEIClient:
+    """HTTP client speaking the libei URL grammar."""
+
+    def __init__(self, address: Tuple[str, int], timeout_s: float = 10.0) -> None:
+        host, port = address
+        self.base_url = f"http://{host}:{port}"
+        self.timeout_s = float(timeout_s)
+
+    # -- low-level ------------------------------------------------------------
+    def get(self, path: str) -> Dict[str, object]:
+        """GET a path and return the decoded JSON body (raises APIError on failure)."""
+        url = self.base_url + path
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                message = body.get("error", str(exc))
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                message = str(exc)
+            raise APIError(f"libei request failed ({exc.code}): {message}") from exc
+        except urllib.error.URLError as exc:
+            raise APIError(f"libei endpoint unreachable: {exc.reason}") from exc
+
+    def timed_get(self, path: str) -> Tuple[Dict[str, object], float]:
+        """GET a path and also return the wall-clock round-trip seconds."""
+        start = time.perf_counter()
+        body = self.get(path)
+        return body, time.perf_counter() - start
+
+    # -- grammar helpers ----------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """GET /ei_status."""
+        return self.get("/ei_status")
+
+    def call_algorithm(
+        self, scenario: str, algorithm: str, args: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """GET /ei_algorithms/<scenario>/<algorithm>/?args as query string."""
+        query = ""
+        if args:
+            query = "?" + urllib.parse.urlencode({k: v for k, v in args.items()})
+        return self.get(f"/ei_algorithms/{scenario}/{algorithm}/{query}")
+
+    def realtime_data(self, sensor_id: str, timestamp: Optional[float] = None) -> Dict[str, object]:
+        """GET /ei_data/realtime/<sensor_id>/{timestamp=...}."""
+        suffix = f"%7Btimestamp={timestamp}%7D" if timestamp is not None else ""
+        return self.get(f"/ei_data/realtime/{sensor_id}/{suffix}")
+
+    def historical_data(self, sensor_id: str, start: float, end: Optional[float] = None) -> Dict[str, object]:
+        """GET /ei_data/historical/<sensor_id>/?start=...&end=..."""
+        args: Dict[str, object] = {"start": start}
+        if end is not None:
+            args["end"] = end
+        query = urllib.parse.urlencode(args)
+        return self.get(f"/ei_data/historical/{sensor_id}/?{query}")

@@ -1,0 +1,95 @@
+"""Threaded HTTP server exposing libei over the network (stdlib only)."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.core.openei import OpenEI
+from repro.serving.api import LibEIDispatcher
+
+
+class _LibEIRequestHandler(BaseHTTPRequestHandler):
+    """Maps GET requests to the libei dispatcher; responses are JSON."""
+
+    dispatcher: LibEIDispatcher  # injected by LibEIServer
+
+    # silence the default stderr access log
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        del format, args
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        status, body = self.dispatcher.safe_handle_path(self.path)
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class LibEIServer:
+    """A libei HTTP endpoint for one deployed OpenEI instance.
+
+    Usage::
+
+        server = LibEIServer(openei)
+        with server.running():
+            client = LibEIClient(server.address)
+            client.get("/ei_status")
+    """
+
+    def __init__(self, openei: OpenEI, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.dispatcher = LibEIDispatcher(openei)
+        handler = type(
+            "BoundLibEIRequestHandler",
+            (_LibEIRequestHandler,),
+            {"dispatcher": self.dispatcher},
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) the server is bound to (port is concrete even when 0 was requested)."""
+        return self._server.server_address[0], self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Start serving in a daemon thread."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the server and join its thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def running(self):
+        """Context manager that starts the server on entry and stops it on exit."""
+        return _ServerContext(self)
+
+
+class _ServerContext:
+    def __init__(self, server: LibEIServer) -> None:
+        self._server = server
+
+    def __enter__(self) -> LibEIServer:
+        self._server.start()
+        return self._server
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._server.stop()

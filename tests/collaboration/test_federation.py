@@ -1,0 +1,103 @@
+"""Tests for federated learning across edges."""
+
+import numpy as np
+import pytest
+
+from repro.collaboration import (
+    FederatedClient,
+    FederatedTrainer,
+    split_dataset_across_edges,
+)
+from repro.eialgorithms import build_mlp
+from repro.exceptions import CollaborationError
+from repro.hardware.device import WAN_LINK
+
+
+def _builder():
+    return build_mlp(10, 3, hidden=(24,), seed=0, name="federated-mlp")
+
+
+def test_split_dataset_covers_all_samples_and_edges(blobs_dataset):
+    clients = split_dataset_across_edges(
+        blobs_dataset.x_train, blobs_dataset.y_train, ["home", "car", "camera"], seed=0
+    )
+    assert len(clients) == 3
+    assert all(client.samples > 0 for client in clients)
+    total = sum(client.samples for client in clients)
+    assert total >= len(blobs_dataset.x_train)  # every sample lands somewhere (+ possible backfill)
+
+
+def test_split_dataset_heterogeneity_skews_labels(blobs_dataset):
+    iid = split_dataset_across_edges(
+        blobs_dataset.x_train, blobs_dataset.y_train, ["a", "b", "c"], heterogeneity=0.0, seed=1
+    )
+    skewed = split_dataset_across_edges(
+        blobs_dataset.x_train, blobs_dataset.y_train, ["a", "b", "c"], heterogeneity=0.9, seed=1
+    )
+
+    def label_entropy(clients):
+        entropies = []
+        for client in clients:
+            counts = np.bincount(client.y_train.astype(int), minlength=3).astype(float)
+            probs = counts / counts.sum()
+            probs = probs[probs > 0]
+            entropies.append(float(-(probs * np.log(probs)).sum()))
+        return np.mean(entropies)
+
+    assert label_entropy(skewed) <= label_entropy(iid) + 1e-9
+
+
+def test_split_dataset_validation(blobs_dataset):
+    with pytest.raises(CollaborationError):
+        split_dataset_across_edges(blobs_dataset.x_train, blobs_dataset.y_train, [])
+    with pytest.raises(CollaborationError):
+        split_dataset_across_edges(blobs_dataset.x_train, blobs_dataset.y_train, ["a"], heterogeneity=1.0)
+
+
+def test_federated_client_validation(blobs_dataset):
+    with pytest.raises(CollaborationError):
+        FederatedClient("empty", np.zeros((0, 4)), np.zeros(0))
+    with pytest.raises(CollaborationError):
+        FederatedClient("misaligned", blobs_dataset.x_train[:5], blobs_dataset.y_train[:4])
+
+
+def test_federated_training_improves_global_accuracy(blobs_dataset):
+    clients = split_dataset_across_edges(
+        blobs_dataset.x_train, blobs_dataset.y_train, ["edge0", "edge1", "edge2"], seed=2
+    )
+    trainer = FederatedTrainer(_builder, clients, link=WAN_LINK, local_epochs=2, seed=2)
+    initial_accuracy = trainer.global_model.evaluate(blobs_dataset.x_test, blobs_dataset.y_test)[1]
+    result = trainer.run(rounds=3, x_test=blobs_dataset.x_test, y_test=blobs_dataset.y_test)
+    assert len(result.rounds) == 3
+    assert result.final_accuracy > initial_accuracy
+    assert result.final_accuracy > 0.8
+    # Communication is model-sized, not data-sized: raw data never moves.
+    model_bytes = trainer.global_model.size_bytes()
+    assert result.total_uplink_bytes == pytest.approx(model_bytes * 3 * 3)
+    assert result.accuracy_curve()[-1] == result.final_accuracy
+
+
+def test_federated_client_subsampling(blobs_dataset):
+    clients = split_dataset_across_edges(
+        blobs_dataset.x_train, blobs_dataset.y_train, ["a", "b", "c", "d"], seed=3
+    )
+    trainer = FederatedTrainer(_builder, clients, local_epochs=1, seed=3)
+    result = trainer.run(rounds=2, x_test=blobs_dataset.x_test, y_test=blobs_dataset.y_test,
+                         clients_per_round=2)
+    model_bytes = trainer.global_model.size_bytes()
+    assert result.rounds[0].bytes_uplink == pytest.approx(model_bytes * 2)
+    assert all(0.0 <= r.mean_client_accuracy <= 1.0 for r in result.rounds)
+    assert all(r.wall_clock_s > 0 for r in result.rounds)
+
+
+def test_federated_trainer_validation(blobs_dataset):
+    clients = split_dataset_across_edges(
+        blobs_dataset.x_train, blobs_dataset.y_train, ["a"], seed=0
+    )
+    with pytest.raises(CollaborationError):
+        FederatedTrainer(_builder, [])
+    with pytest.raises(CollaborationError):
+        FederatedTrainer(_builder, clients, local_epochs=0)
+    trainer = FederatedTrainer(_builder, clients)
+    with pytest.raises(CollaborationError):
+        trainer.run(rounds=0, x_test=blobs_dataset.x_test, y_test=blobs_dataset.y_test)

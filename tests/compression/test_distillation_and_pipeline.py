@@ -1,0 +1,77 @@
+"""Tests for knowledge distillation and the compression report pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CompressionStep,
+    compress_and_report,
+    distill,
+    magnitude_prune_model,
+    quantize_int8_model,
+)
+from repro.eialgorithms import build_mlp
+from repro.exceptions import ConfigurationError
+from repro.hardware import get_device
+
+
+def test_distillation_student_learns_from_teacher(trained_mlp, blobs_dataset):
+    student = build_mlp(10, 3, hidden=(8,), seed=7, name="student")
+    result = distill(
+        trained_mlp,
+        student,
+        blobs_dataset.x_train,
+        blobs_dataset.y_train,
+        blobs_dataset.x_test,
+        blobs_dataset.y_test,
+        epochs=6,
+    )
+    assert result.student is student
+    assert result.student_accuracy > 0.6
+    assert result.teacher_accuracy >= result.student_accuracy - 0.3
+    assert student.param_count() < trained_mlp.param_count()
+    assert "distilled" in student.metadata["compression"]
+    assert isinstance(result.accuracy_gap, float)
+
+
+def test_distillation_rejects_bad_hyperparameters(trained_mlp, blobs_dataset):
+    student = build_mlp(10, 3, hidden=(8,), seed=7)
+    with pytest.raises(ConfigurationError):
+        distill(trained_mlp, student, blobs_dataset.x_train, blobs_dataset.y_train,
+                blobs_dataset.x_test, blobs_dataset.y_test, temperature=0.0)
+    with pytest.raises(ConfigurationError):
+        distill(trained_mlp, student, blobs_dataset.x_train, blobs_dataset.y_train,
+                blobs_dataset.x_test, blobs_dataset.y_test, hard_label_weight=1.5)
+    with pytest.raises(ConfigurationError):
+        distill(trained_mlp, student, blobs_dataset.x_train, blobs_dataset.y_train,
+                blobs_dataset.x_test, blobs_dataset.y_test, epochs=0)
+
+
+def test_compress_and_report_rows_and_ratios(trained_mlp, blobs_dataset):
+    steps = [
+        CompressionStep("prune-90", lambda m: magnitude_prune_model(m, 0.9),
+                        "parameter sharing and pruning"),
+        CompressionStep("int8", quantize_int8_model, "parameter sharing and pruning"),
+    ]
+    report, variants = compress_and_report(
+        trained_mlp,
+        steps,
+        blobs_dataset.x_test,
+        blobs_dataset.y_test,
+        input_shape=(10,),
+        device=get_device("raspberry-pi-3"),
+    )
+    assert len(report.rows) == 2 and set(variants) == {"prune-90", "int8"}
+    for row in report.rows:
+        assert row["size_reduction_x"] > 1.0
+        assert 0.0 <= row["accuracy"] <= 1.0
+        assert row["speedup_x"] > 0.0
+    table = report.as_table()
+    assert "prune-90" in table and "xsmaller" in table
+
+
+def test_compress_and_report_baseline_untouched(trained_mlp, blobs_dataset):
+    original = trained_mlp.layers[0].params["W"].copy()
+    steps = [CompressionStep("prune-50", lambda m: magnitude_prune_model(m, 0.5))]
+    compress_and_report(trained_mlp, steps, blobs_dataset.x_test, blobs_dataset.y_test, (10,))
+    np.testing.assert_array_equal(trained_mlp.layers[0].params["W"], original)

@@ -1,0 +1,90 @@
+"""Shared fixtures for the OpenEI reproduction test-suite.
+
+Expensive artifacts (trained models, populated zoos, deployed OpenEI
+instances) are session-scoped so the several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model_zoo import ModelZoo
+from repro.core.openei import OpenEI
+from repro.eialgorithms import build_lenet, build_mlp, build_mobilenet, build_vgg_lite
+from repro.nn.datasets import make_blobs, make_images, make_sequences
+from repro.nn.optimizers import Adam
+
+
+@pytest.fixture(scope="session")
+def blobs_dataset():
+    """Small, easily-separable tabular dataset."""
+    return make_blobs(samples=320, features=10, classes=3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def images_dataset():
+    """Tiny synthetic image-classification dataset (16x16 grayscale)."""
+    return make_images(samples=160, image_size=16, channels=1, classes=3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def sequences_dataset():
+    """Tiny synthetic sequence dataset (20 steps, 4 channels)."""
+    return make_sequences(samples=160, steps=20, features=4, classes=3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(blobs_dataset):
+    """A small MLP trained to high accuracy on the blobs dataset."""
+    model = build_mlp(10, 3, hidden=(32,), seed=0, name="trained-mlp")
+    model.fit(
+        blobs_dataset.x_train,
+        blobs_dataset.y_train,
+        epochs=12,
+        batch_size=32,
+        optimizer=Adam(0.01),
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_image_models(images_dataset):
+    """Three trained image classifiers of different sizes (mobilenet/lenet/vgg)."""
+    models = {}
+    for name, builder in (
+        ("mobilenet-0.5x", lambda: build_mobilenet((16, 16, 1), 3, 0.5, seed=0, name="mobilenet-0.5x")),
+        ("lenet", lambda: build_lenet((16, 16, 1), 3, seed=0, name="lenet")),
+        ("vgg-0.5x", lambda: build_vgg_lite((16, 16, 1), 3, 0.5, seed=0, name="vgg-0.5x")),
+    ):
+        model = builder()
+        model.fit(
+            images_dataset.x_train,
+            images_dataset.y_train,
+            epochs=3,
+            batch_size=16,
+            optimizer=Adam(0.005),
+        )
+        models[name] = model
+    return models
+
+
+@pytest.fixture(scope="session")
+def image_zoo(trained_image_models):
+    """A model zoo holding the trained image classifiers."""
+    zoo = ModelZoo()
+    for name, model in trained_image_models.items():
+        zoo.register(name, model, task="image-classification", input_shape=(16, 16, 1), scenario="safety")
+    return zoo
+
+
+@pytest.fixture(scope="session")
+def deployed_openei(image_zoo):
+    """OpenEI deployed on a Raspberry Pi 4 with the image zoo attached."""
+    return OpenEI(device_name="raspberry-pi-4", zoo=image_zoo)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

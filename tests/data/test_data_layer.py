@@ -1,0 +1,148 @@
+"""Tests for sensor simulators, the data store and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CameraSensor,
+    EdgeDataStore,
+    PowerMeterSensor,
+    VehicleCameraSensor,
+    WearableIMUSensor,
+    activity_recognition_workload,
+    appliance_power_workload,
+    object_detection_workload,
+    trajectory_workload,
+)
+from repro.exceptions import ConfigurationError, ResourceNotFoundError
+
+
+# -- sensors ------------------------------------------------------------------
+
+def test_camera_frames_and_boxes_within_bounds():
+    camera = CameraSensor(frame_size=24, seed=0)
+    for reading in camera.stream(10):
+        assert reading.payload.shape == (24, 24, 1)
+        for x1, y1, x2, y2 in reading.annotations["boxes"]:
+            assert 0 <= x1 < x2 <= 24 and 0 <= y1 < y2 <= 24
+        assert reading.nbytes == reading.payload.nbytes
+
+
+def test_camera_timestamps_monotone_and_deterministic():
+    first = [r.timestamp for r in CameraSensor(seed=1).stream(5)]
+    second = [r.timestamp for r in CameraSensor(seed=1).stream(5)]
+    assert first == second
+    assert all(b > a for a, b in zip(first, first[1:]))
+
+
+def test_wearable_activity_labels_valid():
+    sensor = WearableIMUSensor(steps=16, channels=4, seed=0)
+    for reading in sensor.stream(10):
+        assert reading.payload.shape == (16, 4)
+        assert 0 <= reading.annotations["activity"] < len(WearableIMUSensor.ACTIVITIES)
+        assert reading.annotations["activity_name"] in WearableIMUSensor.ACTIVITIES
+
+
+def test_power_meter_consistent_with_states():
+    meter = PowerMeterSensor(seed=0)
+    for reading in meter.stream(20):
+        states = np.array(reading.annotations["appliance_states"])
+        expected = meter.base_load_w + np.sum(np.array(meter.APPLIANCE_WATTS) * states)
+        assert abs(float(reading.payload[0]) - expected) < 30.0
+
+
+def test_vehicle_camera_positions_smooth():
+    camera = VehicleCameraSensor(frame_size=32, seed=0)
+    positions = np.array([r.annotations["position"] for r in camera.stream(30)])
+    step_sizes = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+    assert np.all(step_sizes < 4.0)
+    assert np.all((positions >= 0) & (positions <= 32))
+
+
+def test_sensor_invalid_period():
+    with pytest.raises(ConfigurationError):
+        CameraSensor(period_s=0.0)
+    with pytest.raises(ConfigurationError):
+        CameraSensor(frame_size=4)
+
+
+# -- store -----------------------------------------------------------------------
+
+def test_store_capture_and_realtime():
+    store = EdgeDataStore()
+    store.register_sensor(CameraSensor(sensor_id="cam", seed=0))
+    readings = store.capture("cam", count=3)
+    assert len(readings) == 3
+    newest = store.realtime("cam")
+    assert newest.timestamp > readings[-1].timestamp - 1e-9
+    assert store.count("cam") == 4
+    assert "cam" in store.sensor_ids
+
+
+def test_store_historical_window():
+    store = EdgeDataStore()
+    sensor = CameraSensor(sensor_id="cam", seed=0)
+    for reading in sensor.stream(10):
+        store.record(reading)
+    window = store.historical("cam", start=0.0, end=sensor.period_s * 4)
+    assert 4 <= len(window) <= 5
+    everything = store.historical("cam", start=0.0)
+    assert len(everything) == 10
+    assert store.total_bytes("cam") > 0 and store.total_bytes() >= store.total_bytes("cam")
+
+
+def test_store_retention_evicts_oldest():
+    store = EdgeDataStore(retention=5)
+    sensor = CameraSensor(sensor_id="cam", seed=0)
+    for reading in sensor.stream(12):
+        store.record(reading)
+    assert store.count("cam") == 5
+    assert store.historical("cam", start=0.0)[0].timestamp > 0
+
+
+def test_store_unknown_sensor_raises():
+    store = EdgeDataStore()
+    with pytest.raises(ResourceNotFoundError):
+        store.realtime("ghost")
+    with pytest.raises(ResourceNotFoundError):
+        store.historical("ghost", 0.0)
+    with pytest.raises(ResourceNotFoundError):
+        store.capture("ghost")
+
+
+# -- workloads ---------------------------------------------------------------------
+
+def test_object_detection_workload_shapes():
+    workload = object_detection_workload(frames=12, frame_size=24, seed=0)
+    assert workload.frames.shape == (12, 24, 24, 1)
+    assert len(workload.boxes) == 12
+    assert workload.total_bytes == workload.frames.nbytes
+
+
+def test_activity_workload_labels_and_classes():
+    workload = activity_recognition_workload(samples=30, steps=10, channels=3, seed=0)
+    assert workload.windows.shape == (30, 10, 3)
+    assert workload.labels.shape == (30,)
+    assert workload.num_classes == 3
+
+
+def test_power_workload_alignment():
+    workload = appliance_power_workload(samples=40, seed=0)
+    assert workload.power_w.shape == (40,)
+    assert workload.appliance_states.shape == (40, len(workload.appliance_names))
+
+
+def test_trajectory_workload_alignment():
+    workload = trajectory_workload(frames=25, frame_size=24, seed=0)
+    assert workload.frames.shape[0] == workload.positions.shape[0] == 25
+
+
+def test_workloads_reject_non_positive_sizes():
+    with pytest.raises(ConfigurationError):
+        object_detection_workload(frames=0)
+    with pytest.raises(ConfigurationError):
+        activity_recognition_workload(samples=0)
+    with pytest.raises(ConfigurationError):
+        appliance_power_workload(samples=0)
+    with pytest.raises(ConfigurationError):
+        trajectory_workload(frames=0)

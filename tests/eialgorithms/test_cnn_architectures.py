@@ -1,0 +1,84 @@
+"""Tests for the CNN architecture builders (reference + MobileNet + SqueezeNet)."""
+
+import pytest
+
+from repro.eialgorithms import (
+    build_alexnet_lite,
+    build_lenet,
+    build_mlp,
+    build_mobilenet,
+    build_squeezenet,
+    build_vgg_lite,
+)
+from repro.exceptions import ConfigurationError
+from repro.nn.optimizers import Adam
+
+
+def test_builders_produce_correct_output_shape():
+    for builder in (build_lenet, build_alexnet_lite, build_vgg_lite, build_mobilenet, build_squeezenet):
+        model = builder((16, 16, 1), 4, seed=0) if builder is not build_mobilenet else builder(
+            (16, 16, 1), 4, seed=0
+        )
+        assert model.output_shape((16, 16, 1)) == (4,)
+
+
+def test_mlp_output_shape_and_dropout():
+    model = build_mlp(20, 5, hidden=(16, 8), dropout=0.2, seed=0)
+    assert model.output_shape((20,)) == (5,)
+    assert model.metadata["family"] == "mlp"
+
+
+def test_parameter_ordering_matches_paper_expectations():
+    """VGG >> AlexNet > LeNet and MobileNet/SqueezeNet are far smaller than VGG."""
+    vgg = build_vgg_lite((16, 16, 1), 4, seed=0)
+    alexnet = build_alexnet_lite((16, 16, 1), 4, seed=0)
+    lenet = build_lenet((16, 16, 1), 4, seed=0)
+    mobilenet = build_mobilenet((16, 16, 1), 4, seed=0)
+    squeezenet = build_squeezenet((16, 16, 1), 4, seed=0)
+    assert vgg.param_count() > alexnet.param_count() > lenet.param_count()
+    assert mobilenet.param_count() < vgg.param_count() / 10
+    assert squeezenet.param_count() < alexnet.param_count() / 5
+
+
+def test_mobilenet_width_multiplier_scales_parameters():
+    wide = build_mobilenet((16, 16, 1), 4, width_multiplier=1.0, seed=0)
+    narrow = build_mobilenet((16, 16, 1), 4, width_multiplier=0.25, seed=0)
+    assert narrow.param_count() < wide.param_count()
+    assert narrow.metadata["width_multiplier"] == 0.25
+
+
+def test_mobilenet_flops_scale_with_width():
+    wide = build_mobilenet((16, 16, 1), 4, width_multiplier=1.0, seed=0)
+    narrow = build_mobilenet((16, 16, 1), 4, width_multiplier=0.5, seed=0)
+    assert narrow.flops((16, 16, 1)) < wide.flops((16, 16, 1))
+
+
+def test_vgg_width_multiplier_and_validation():
+    half = build_vgg_lite((16, 16, 1), 4, width_multiplier=0.5, seed=0)
+    full = build_vgg_lite((16, 16, 1), 4, width_multiplier=1.0, seed=0)
+    assert half.param_count() < full.param_count()
+    with pytest.raises(ConfigurationError):
+        build_vgg_lite((8, 8, 1), 4)
+    with pytest.raises(ConfigurationError):
+        build_vgg_lite((16, 16, 1), 4, width_multiplier=0)
+
+
+def test_builders_reject_invalid_classes_and_shapes():
+    with pytest.raises(ConfigurationError):
+        build_mobilenet((16, 16, 1), 1)
+    with pytest.raises(ConfigurationError):
+        build_mobilenet((16, 16), 4)
+    with pytest.raises(ConfigurationError):
+        build_squeezenet((16, 16, 1), 4, fire_modules=())
+    with pytest.raises(ConfigurationError):
+        build_mlp(0, 4)
+    with pytest.raises(ConfigurationError):
+        build_lenet((4, 4, 1), 4)
+
+
+def test_compact_models_train_on_images(images_dataset):
+    model = build_mobilenet((16, 16, 1), 3, width_multiplier=0.5, seed=0)
+    model.fit(images_dataset.x_train[:64], images_dataset.y_train[:64], epochs=2,
+              batch_size=16, optimizer=Adam(0.01))
+    accuracy = model.evaluate(images_dataset.x_test, images_dataset.y_test)[1]
+    assert accuracy > 0.3  # learns something in two epochs on an easy task

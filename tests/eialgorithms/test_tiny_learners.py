@@ -1,0 +1,128 @@
+"""Tests for Bonsai, ProtoNN, FastGRNN and EMI-RNN."""
+
+import numpy as np
+import pytest
+
+from repro.eialgorithms import (
+    BonsaiClassifier,
+    EMIRNNClassifier,
+    FastGRNNClassifier,
+    ProtoNNClassifier,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def test_bonsai_learns_separable_data(blobs_dataset):
+    clf = BonsaiClassifier(projection_dim=6, depth=2, seed=0)
+    clf.fit(blobs_dataset.x_train, blobs_dataset.y_train)
+    assert clf.score(blobs_dataset.x_test, blobs_dataset.y_test) > 0.8
+
+
+def test_bonsai_probabilities_are_normalized(blobs_dataset):
+    clf = BonsaiClassifier(seed=0).fit(blobs_dataset.x_train, blobs_dataset.y_train)
+    probs = clf.predict_proba(blobs_dataset.x_test[:10])
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), atol=1e-8)
+
+
+def test_bonsai_model_is_tiny(blobs_dataset):
+    clf = BonsaiClassifier(projection_dim=4, depth=1, seed=0)
+    clf.fit(blobs_dataset.x_train, blobs_dataset.y_train)
+    assert clf.size_bytes() < 4096  # a few kB, the Arduino-class budget
+
+
+def test_bonsai_depth_zero_is_single_node(blobs_dataset):
+    clf = BonsaiClassifier(depth=0, seed=0).fit(blobs_dataset.x_train, blobs_dataset.y_train)
+    assert len(clf.nodes) == 1
+    assert clf.score(blobs_dataset.x_test, blobs_dataset.y_test) > 0.5
+
+
+def test_bonsai_invalid_configuration_and_input():
+    with pytest.raises(ConfigurationError):
+        BonsaiClassifier(projection_dim=0)
+    with pytest.raises(ConfigurationError):
+        BonsaiClassifier(epochs=0)
+    with pytest.raises(ShapeError):
+        BonsaiClassifier().fit(np.zeros((4, 3, 2)), np.zeros(4))
+    with pytest.raises(RuntimeError):
+        BonsaiClassifier().predict(np.zeros((2, 3)))
+
+
+def test_protonn_learns_separable_data(blobs_dataset):
+    clf = ProtoNNClassifier(projection_dim=6, prototypes_per_class=3, seed=0)
+    clf.fit(blobs_dataset.x_train, blobs_dataset.y_train)
+    assert clf.score(blobs_dataset.x_test, blobs_dataset.y_test) > 0.8
+
+
+def test_protonn_prototype_count_and_size(blobs_dataset):
+    clf = ProtoNNClassifier(projection_dim=4, prototypes_per_class=2, seed=0)
+    clf.fit(blobs_dataset.x_train, blobs_dataset.y_train)
+    assert clf.prototypes.shape[0] <= 2 * blobs_dataset.num_classes
+    assert clf.param_count() < blobs_dataset.x_train.size  # far smaller than storing the data
+    assert clf.size_bytes() > 0
+
+
+def test_protonn_probabilities_normalized(blobs_dataset):
+    clf = ProtoNNClassifier(seed=0).fit(blobs_dataset.x_train, blobs_dataset.y_train)
+    probs = clf.predict_proba(blobs_dataset.x_test[:7])
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(7), atol=1e-8)
+
+
+def test_protonn_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        ProtoNNClassifier(prototypes_per_class=0)
+    with pytest.raises(ShapeError):
+        ProtoNNClassifier().fit(np.zeros((4, 3, 2)), np.zeros(4))
+    with pytest.raises(RuntimeError):
+        ProtoNNClassifier().predict(np.zeros((2, 3)))
+
+
+def test_fastgrnn_learns_sequences(sequences_dataset):
+    clf = FastGRNNClassifier(input_size=4, hidden_size=12, num_classes=3, seed=0)
+    clf.fit(sequences_dataset.x_train, sequences_dataset.y_train, epochs=8)
+    assert clf.score(sequences_dataset.x_test, sequences_dataset.y_test) > 0.7
+
+
+def test_fastgrnn_predictions_shape(sequences_dataset):
+    clf = FastGRNNClassifier(input_size=4, hidden_size=8, num_classes=3, seed=0)
+    clf.fit(sequences_dataset.x_train[:40], sequences_dataset.y_train[:40], epochs=2)
+    probs = clf.predict_proba(sequences_dataset.x_test[:5])
+    assert probs.shape == (5, 3)
+    assert clf.predict(sequences_dataset.x_test[:5]).shape == (5,)
+    assert clf.param_count() > 0 and clf.size_bytes() > 0
+
+
+def test_fastgrnn_rejects_single_class():
+    with pytest.raises(ConfigurationError):
+        FastGRNNClassifier(input_size=4, num_classes=1)
+
+
+def test_emirnn_learns_and_saves_computation(sequences_dataset):
+    clf = EMIRNNClassifier(input_size=4, num_classes=3, window=8, stride=4,
+                           confidence_threshold=0.7, seed=0)
+    clf.fit(sequences_dataset.x_train, sequences_dataset.y_train, epochs=6)
+    accuracy = clf.score(sequences_dataset.x_test, sequences_dataset.y_test)
+    assert accuracy > 0.6
+    evaluated, total = clf.computation_per_sequence()
+    assert 0 < evaluated <= total
+    assert clf.last_stats.computation_saving >= 0.0
+
+
+def test_emirnn_early_exit_cheaper_than_full(sequences_dataset):
+    clf = EMIRNNClassifier(input_size=4, num_classes=3, window=8, stride=4,
+                           confidence_threshold=0.6, seed=0)
+    clf.fit(sequences_dataset.x_train[:60], sequences_dataset.y_train[:60], epochs=4)
+    clf.predict(sequences_dataset.x_test, early_exit=True)
+    with_exit = clf.last_stats.windows_evaluated
+    clf.predict(sequences_dataset.x_test, early_exit=False)
+    without_exit = clf.last_stats.windows_evaluated
+    assert with_exit <= without_exit
+
+
+def test_emirnn_invalid_configuration_and_short_sequences(sequences_dataset):
+    with pytest.raises(ConfigurationError):
+        EMIRNNClassifier(input_size=4, num_classes=3, window=0)
+    with pytest.raises(ConfigurationError):
+        EMIRNNClassifier(input_size=4, num_classes=3, confidence_threshold=0.0)
+    clf = EMIRNNClassifier(input_size=4, num_classes=3, window=50, seed=0)
+    with pytest.raises(ShapeError):
+        clf.fit(sequences_dataset.x_train, sequences_dataset.y_train)

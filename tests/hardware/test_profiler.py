@@ -1,0 +1,96 @@
+"""Tests for the ALEM profiler and package configurations."""
+
+import pytest
+
+from repro.eialgorithms import build_mobilenet, build_vgg_lite
+from repro.exceptions import ConfigurationError
+from repro.hardware import (
+    PACKAGE_CONFIGURATIONS,
+    ALEMProfiler,
+    get_device,
+    make_profiler,
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {
+        "mobilenet": build_mobilenet((16, 16, 1), 4, 0.5, seed=0),
+        "vgg": build_vgg_lite((16, 16, 1), 4, 0.5, seed=0),
+    }
+
+
+def test_profile_result_fields(models):
+    profiler = ALEMProfiler()
+    result = profiler.profile(models["mobilenet"], (16, 16, 1), get_device("raspberry-pi-4"))
+    assert result.latency_s > 0 and result.energy_j > 0 and result.memory_mb > 0
+    assert result.device_name == "raspberry-pi-4"
+    assert result.package_name == "openei-lite"
+    as_dict = result.as_dict()
+    assert set(as_dict) >= {"model", "device", "latency_s", "energy_j", "memory_mb", "flops"}
+
+
+def test_heavier_model_costs_more(models):
+    profiler = ALEMProfiler()
+    device = get_device("raspberry-pi-3")
+    light = profiler.profile(models["mobilenet"], (16, 16, 1), device)
+    heavy = profiler.profile(models["vgg"], (16, 16, 1), device)
+    assert heavy.latency_s > light.latency_s
+    assert heavy.memory_mb > light.memory_mb
+    assert heavy.cost.params > light.cost.params
+
+
+def test_faster_device_is_faster(models):
+    profiler = ALEMProfiler()
+    slow = profiler.profile(models["vgg"], (16, 16, 1), get_device("raspberry-pi-3"))
+    fast = profiler.profile(models["vgg"], (16, 16, 1), get_device("edge-server"))
+    assert fast.latency_s < slow.latency_s
+
+
+def test_batch_size_increases_latency(models):
+    profiler = ALEMProfiler()
+    device = get_device("raspberry-pi-3")
+    single = profiler.profile(models["vgg"], (16, 16, 1), device, batch_size=1)
+    batched = profiler.profile(models["vgg"], (16, 16, 1), device, batch_size=8)
+    assert batched.latency_s > single.latency_s
+
+
+def test_bytes_per_param_reduces_memory(models):
+    profiler = ALEMProfiler()
+    device = get_device("raspberry-pi-3")
+    full = profiler.profile(models["vgg"], (16, 16, 1), device, bytes_per_param=4.0)
+    quantized = profiler.profile(models["vgg"], (16, 16, 1), device, bytes_per_param=1.0)
+    assert quantized.memory_mb < full.memory_mb
+
+
+def test_profile_training_scales_with_samples(models):
+    profiler = ALEMProfiler()
+    device = get_device("raspberry-pi-4")
+    short = profiler.profile_training(models["mobilenet"], (16, 16, 1), device, samples=10)
+    long = profiler.profile_training(models["mobilenet"], (16, 16, 1), device, samples=1000)
+    assert long > short
+
+
+def test_mcu_does_not_fit_cnn(models):
+    profiler = ALEMProfiler()
+    result = profiler.profile(models["mobilenet"], (16, 16, 1), get_device("arduino-class-mcu"))
+    assert not result.fits_in_memory
+
+
+def test_make_profiler_and_package_ordering(models):
+    device = get_device("raspberry-pi-3")
+    cloud_framework = make_profiler("cloud-framework").profile(models["vgg"], (16, 16, 1), device)
+    lite = make_profiler("openei-lite").profile(models["vgg"], (16, 16, 1), device)
+    fused = make_profiler("openei-lite-fused").profile(models["vgg"], (16, 16, 1), device)
+    assert cloud_framework.latency_s > lite.latency_s > fused.latency_s
+    assert set(PACKAGE_CONFIGURATIONS) >= {"cloud-framework", "openei-lite"}
+
+
+def test_make_profiler_unknown_package_raises():
+    with pytest.raises(ConfigurationError):
+        make_profiler("tensorflow-heavy")
+
+
+def test_profiler_rejects_bad_efficiency():
+    with pytest.raises(ConfigurationError):
+        ALEMProfiler(package_efficiency=0.0)

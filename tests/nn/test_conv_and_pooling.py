@@ -1,0 +1,182 @@
+"""Tests for convolutional and pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    DepthwiseConv2D,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    SeparableConv2D,
+)
+from repro.nn.layers.conv import col2im, im2col
+
+
+def test_im2col_col2im_roundtrip_shapes():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 6, 6, 3))
+    cols, out_h, out_w = im2col(x, kernel=3, stride=1, pad=1)
+    assert cols.shape == (2 * 6 * 6, 3 * 3 * 3)
+    assert (out_h, out_w) == (6, 6)
+    back = col2im(cols, x.shape, kernel=3, stride=1, pad=1)
+    assert back.shape == x.shape
+
+
+def test_conv2d_same_padding_preserves_spatial_size():
+    layer = Conv2D(3, 8, kernel_size=3, padding="same", seed=0)
+    out = layer.forward(np.zeros((2, 10, 10, 3)))
+    assert out.shape == (2, 10, 10, 8)
+
+
+def test_conv2d_valid_padding_and_stride():
+    layer = Conv2D(1, 4, kernel_size=3, stride=2, padding="valid", seed=0)
+    out = layer.forward(np.zeros((1, 9, 9, 1)))
+    assert out.shape == (1, 4, 4, 4)
+    assert layer.output_shape((9, 9, 1)) == (4, 4, 4)
+
+
+def test_conv2d_matches_manual_convolution_single_pixel():
+    layer = Conv2D(1, 1, kernel_size=3, padding="valid", use_bias=False, seed=0)
+    kernel = np.arange(9, dtype=np.float64).reshape(3, 3, 1, 1)
+    layer.params["W"][...] = kernel
+    x = np.zeros((1, 3, 3, 1))
+    x[0, :, :, 0] = np.arange(9).reshape(3, 3)
+    out = layer.forward(x)
+    assert out.shape == (1, 1, 1, 1)
+    assert out[0, 0, 0, 0] == pytest.approx(float(np.sum(kernel[:, :, 0, 0] * x[0, :, :, 0])))
+
+
+def test_conv2d_backward_matches_numerical_gradient():
+    rng = np.random.default_rng(1)
+    layer = Conv2D(2, 3, kernel_size=3, padding="same", seed=1)
+    x = rng.normal(size=(2, 5, 5, 2))
+    grad_out = rng.normal(size=(2, 5, 5, 3))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    epsilon = 1e-6
+    numerical = np.zeros_like(x)
+    for index in np.ndindex(*x.shape):
+        original = x[index]
+        x[index] = original + epsilon
+        plus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original - epsilon
+        minus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original
+        numerical[index] = (plus - minus) / (2 * epsilon)
+    np.testing.assert_allclose(grad_in, numerical, atol=1e-4)
+
+
+def test_conv2d_rejects_bad_config_and_input():
+    with pytest.raises(ConfigurationError):
+        Conv2D(0, 4)
+    with pytest.raises(ConfigurationError):
+        Conv2D(1, 4, padding="reflect")
+    layer = Conv2D(2, 4, seed=0)
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.zeros((1, 8, 8, 3)))
+    with pytest.raises(ShapeError):
+        layer.forward(np.zeros((8, 8, 2)))
+
+
+def test_conv2d_flops_scale_with_channels():
+    small = Conv2D(1, 4, kernel_size=3, seed=0)
+    large = Conv2D(1, 8, kernel_size=3, seed=0)
+    assert large.flops((8, 8, 1)) == 2 * small.flops((8, 8, 1))
+
+
+def test_depthwise_preserves_channel_count():
+    layer = DepthwiseConv2D(5, kernel_size=3, seed=0)
+    out = layer.forward(np.zeros((2, 8, 8, 5)))
+    assert out.shape == (2, 8, 8, 5)
+
+
+def test_depthwise_backward_matches_numerical_gradient():
+    rng = np.random.default_rng(2)
+    layer = DepthwiseConv2D(2, kernel_size=3, seed=2)
+    x = rng.normal(size=(1, 4, 4, 2))
+    grad_out = rng.normal(size=(1, 4, 4, 2))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    epsilon = 1e-6
+    numerical = np.zeros_like(x)
+    for index in np.ndindex(*x.shape):
+        original = x[index]
+        x[index] = original + epsilon
+        plus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original - epsilon
+        minus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original
+        numerical[index] = (plus - minus) / (2 * epsilon)
+    np.testing.assert_allclose(grad_in, numerical, atol=1e-4)
+
+
+def test_separable_conv_cheaper_than_standard_conv():
+    separable = SeparableConv2D(16, 32, kernel_size=3, seed=0)
+    standard = Conv2D(16, 32, kernel_size=3, seed=0)
+    shape = (16, 16, 16)
+    assert separable.flops(shape) < standard.flops(shape)
+    assert separable.param_count() < standard.param_count()
+
+
+def test_separable_conv_forward_backward_shapes():
+    layer = SeparableConv2D(3, 6, kernel_size=3, seed=0)
+    x = np.random.default_rng(0).normal(size=(2, 8, 8, 3))
+    out = layer.forward(x, training=True)
+    assert out.shape == (2, 8, 8, 6)
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    assert "depthwise/W" in layer.params and "pointwise/W" in layer.params
+
+
+def test_separable_conv_set_param_routes_to_children():
+    layer = SeparableConv2D(2, 3, kernel_size=3, seed=0)
+    new_weights = np.zeros_like(layer.params["pointwise/W"])
+    layer.set_param("pointwise/W", new_weights)
+    np.testing.assert_array_equal(layer.params["pointwise/W"], new_weights)
+    with pytest.raises(KeyError):
+        layer.set_param("unknown/W", new_weights)
+
+
+def test_maxpool_selects_maximum_and_backprops_to_argmax():
+    layer = MaxPool2D(2)
+    x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+    out = layer.forward(x, training=True)
+    assert out.shape == (1, 2, 2, 1)
+    assert out[0, 0, 0, 0] == 5.0
+    grad = layer.backward(np.ones_like(out))
+    assert grad.sum() == 4.0
+    assert grad[0, 1, 1, 0] == 1.0 and grad[0, 0, 0, 0] == 0.0
+
+
+def test_maxpool_requires_divisible_spatial_dims():
+    with pytest.raises(ShapeError):
+        MaxPool2D(2).forward(np.zeros((1, 5, 4, 1)))
+
+
+def test_avgpool_forward_backward_values():
+    layer = AvgPool2D(2)
+    x = np.ones((1, 4, 4, 2))
+    out = layer.forward(x, training=True)
+    np.testing.assert_allclose(out, np.ones((1, 2, 2, 2)))
+    grad = layer.backward(np.ones_like(out))
+    np.testing.assert_allclose(grad, np.full_like(x, 0.25))
+
+
+def test_global_avg_pool_reduces_to_channels():
+    layer = GlobalAvgPool2D()
+    x = np.random.default_rng(0).normal(size=(3, 5, 5, 7))
+    out = layer.forward(x, training=True)
+    assert out.shape == (3, 7)
+    np.testing.assert_allclose(out, x.mean(axis=(1, 2)))
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    np.testing.assert_allclose(grad, np.full_like(x, 1.0 / 25))
+
+
+def test_pooling_output_shapes():
+    assert MaxPool2D(2).output_shape((8, 8, 3)) == (4, 4, 3)
+    assert AvgPool2D(4).output_shape((8, 8, 3)) == (2, 2, 3)
+    assert GlobalAvgPool2D().output_shape((8, 8, 3)) == (3,)

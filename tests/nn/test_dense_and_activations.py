@@ -1,0 +1,158 @@
+"""Tests for Dense and activation layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.layers import Dense, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+
+
+def numerical_gradient(forward_fn, inputs, grad_output, epsilon=1e-6):
+    """Central-difference gradient of sum(forward(x) * grad_output) wrt x."""
+    grad = np.zeros_like(inputs)
+    flat = inputs.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(np.sum(forward_fn(inputs) * grad_output))
+        flat[i] = original - epsilon
+        minus = float(np.sum(forward_fn(inputs) * grad_output))
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def test_dense_forward_shape_and_bias():
+    layer = Dense(4, 6, seed=0)
+    out = layer.forward(np.ones((3, 4)))
+    assert out.shape == (3, 6)
+    layer_no_bias = Dense(4, 6, use_bias=False, seed=0)
+    assert "b" not in layer_no_bias.params
+
+
+def test_dense_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError):
+        Dense(0, 5)
+    with pytest.raises(ConfigurationError):
+        Dense(5, -1)
+
+
+def test_dense_rejects_wrong_input_width():
+    layer = Dense(4, 2, seed=0)
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.ones((2, 5)))
+
+
+def test_dense_rejects_non_2d_input():
+    layer = Dense(4, 2, seed=0)
+    with pytest.raises(ShapeError):
+        layer.forward(np.ones((2, 2, 2)))
+
+
+def test_dense_backward_matches_numerical_gradient():
+    rng = np.random.default_rng(0)
+    layer = Dense(5, 3, seed=1)
+    x = rng.normal(size=(4, 5))
+    grad_out = rng.normal(size=(4, 3))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    expected = numerical_gradient(lambda inp: inp @ layer.params["W"] + layer.params["b"], x.copy(), grad_out)
+    np.testing.assert_allclose(grad_in, expected, atol=1e-5)
+
+
+def test_dense_weight_gradient_matches_numerical():
+    rng = np.random.default_rng(1)
+    layer = Dense(3, 2, seed=2)
+    x = rng.normal(size=(6, 3))
+    grad_out = rng.normal(size=(6, 2))
+    layer.forward(x, training=True)
+    layer.backward(grad_out)
+    weights = layer.params["W"]
+    numerical = np.zeros_like(weights)
+    epsilon = 1e-6
+    for i in range(weights.shape[0]):
+        for j in range(weights.shape[1]):
+            original = weights[i, j]
+            weights[i, j] = original + epsilon
+            plus = float(np.sum(layer.forward(x) * grad_out))
+            weights[i, j] = original - epsilon
+            minus = float(np.sum(layer.forward(x) * grad_out))
+            weights[i, j] = original
+            numerical[i, j] = (plus - minus) / (2 * epsilon)
+    np.testing.assert_allclose(layer.grads["W"], numerical, atol=1e-5)
+
+
+def test_dense_backward_before_forward_raises():
+    layer = Dense(3, 2, seed=0)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.ones((1, 2)))
+
+
+def test_dense_param_count_and_flops():
+    layer = Dense(10, 7, seed=0)
+    assert layer.param_count() == 10 * 7 + 7
+    assert layer.flops((10,)) == 70
+    assert layer.output_shape((10,)) == (7,)
+
+
+@pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh])
+def test_activation_gradients_match_numerical(layer_cls):
+    rng = np.random.default_rng(3)
+    layer = layer_cls()
+    x = rng.normal(size=(4, 5))
+    grad_out = rng.normal(size=(4, 5))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    expected = numerical_gradient(lambda inp: layer.forward(inp), x.copy(), grad_out)
+    np.testing.assert_allclose(grad_in, expected, atol=1e-4)
+
+
+def test_relu_zeroes_negatives():
+    out = ReLU().forward(np.array([[-1.0, 2.0, -3.0]]))
+    np.testing.assert_array_equal(out, [[0.0, 2.0, 0.0]])
+
+
+def test_leaky_relu_keeps_scaled_negatives():
+    layer = LeakyReLU(alpha=0.1)
+    out = layer.forward(np.array([[-2.0, 4.0]]))
+    np.testing.assert_allclose(out, [[-0.2, 4.0]])
+    layer.forward(np.array([[-2.0, 4.0]]), training=True)
+    grad = layer.backward(np.ones((1, 2)))
+    np.testing.assert_allclose(grad, [[0.1, 1.0]])
+
+
+def test_sigmoid_output_range_and_saturation():
+    layer = Sigmoid()
+    out = layer.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+    assert np.all((out >= 0.0) & (out <= 1.0))
+    assert out[0, 1] == pytest.approx(0.5)
+
+
+def test_softmax_rows_sum_to_one():
+    layer = Softmax()
+    out = layer.forward(np.random.default_rng(0).normal(size=(6, 4)))
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(6), atol=1e-12)
+
+
+def test_softmax_invariant_to_shift():
+    layer = Softmax()
+    logits = np.array([[1.0, 2.0, 3.0]])
+    np.testing.assert_allclose(layer.forward(logits), layer.forward(logits + 100.0))
+
+
+def test_softmax_full_jacobian_backward():
+    layer = Softmax(pass_through_grad=False)
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(3, 4))
+    grad_out = rng.normal(size=(3, 4))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    expected = numerical_gradient(lambda inp: layer.forward(inp), x.copy(), grad_out)
+    np.testing.assert_allclose(grad_in, expected, atol=1e-5)
+
+
+def test_activation_backward_before_forward_raises():
+    for layer in (ReLU(), Sigmoid(), Tanh(), Softmax(), LeakyReLU()):
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))

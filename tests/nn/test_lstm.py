@@ -1,0 +1,75 @@
+"""Tests for the LSTM layer and classifier (the EMI-RNN comparison baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.eialgorithms.fastgrnn import FastGRNNLayer
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import GRUCellLayer, LSTMLayer
+from repro.nn.layers.lstm import LSTMClassifier
+
+
+def test_lstm_output_shape_and_cost():
+    layer = LSTMLayer(input_size=3, hidden_size=7, seed=0)
+    x = np.random.default_rng(0).normal(size=(5, 9, 3))
+    out = layer.forward(x)
+    assert out.shape == (5, 7)
+    assert layer.output_shape((9, 3)) == (7,)
+    assert layer.flops((9, 3)) > 0
+
+
+def test_lstm_has_more_parameters_than_gru_and_fastgrnn():
+    lstm = LSTMLayer(6, 12, seed=0)
+    gru = GRUCellLayer(6, 12, seed=0)
+    fast = FastGRNNLayer(6, 12, seed=0)
+    assert lstm.param_count() > gru.param_count() > fast.param_count()
+    # 4 gates vs a single shared matrix pair: roughly 4x the recurrent parameters.
+    assert lstm.param_count() > 3 * fast.param_count()
+
+
+def test_lstm_flops_exceed_fastgrnn_flops():
+    lstm = LSTMLayer(6, 16, seed=0)
+    fast = FastGRNNLayer(6, 16, seed=0)
+    assert lstm.flops((20, 6)) > 3 * fast.flops((20, 6))
+
+
+def test_lstm_backward_matches_numerical_gradient():
+    rng = np.random.default_rng(1)
+    layer = LSTMLayer(input_size=2, hidden_size=3, seed=1)
+    x = rng.normal(size=(2, 4, 2))
+    grad_out = rng.normal(size=(2, 3))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    epsilon = 1e-6
+    numerical = np.zeros_like(x)
+    for index in np.ndindex(*x.shape):
+        original = x[index]
+        x[index] = original + epsilon
+        plus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original - epsilon
+        minus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original
+        numerical[index] = (plus - minus) / (2 * epsilon)
+    np.testing.assert_allclose(grad_in, numerical, atol=1e-4)
+
+
+def test_lstm_backward_before_forward_and_validation():
+    with pytest.raises(ConfigurationError):
+        LSTMLayer(0, 4)
+    layer = LSTMLayer(2, 3, seed=0)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.ones((1, 3)))
+
+
+def test_lstm_classifier_learns_sequences(sequences_dataset):
+    clf = LSTMClassifier(input_size=4, hidden_size=16, num_classes=3, seed=0)
+    clf.fit(sequences_dataset.x_train, sequences_dataset.y_train, epochs=8)
+    assert clf.score(sequences_dataset.x_test, sequences_dataset.y_test) > 0.7
+    assert clf.predict(sequences_dataset.x_test[:4]).shape == (4,)
+    assert clf.param_count() > 0
+    assert clf.flops_per_sequence(20, 4) > 0
+
+
+def test_lstm_classifier_rejects_single_class():
+    with pytest.raises(ConfigurationError):
+        LSTMClassifier(input_size=4, num_classes=1)

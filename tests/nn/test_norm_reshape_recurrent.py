@@ -1,0 +1,155 @@
+"""Tests for BatchNorm, Flatten, Dropout and the recurrent layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import BatchNorm, Dropout, Flatten, GRUCellLayer, SimpleRNN
+from repro.eialgorithms.fastgrnn import FastGRNNLayer
+
+
+def test_batchnorm_normalizes_training_batch():
+    layer = BatchNorm(4)
+    rng = np.random.default_rng(0)
+    x = rng.normal(5.0, 3.0, size=(64, 4))
+    out = layer.forward(x, training=True)
+    np.testing.assert_allclose(out.mean(axis=0), np.zeros(4), atol=1e-7)
+    np.testing.assert_allclose(out.std(axis=0), np.ones(4), atol=1e-2)
+
+
+def test_batchnorm_running_statistics_used_in_inference():
+    layer = BatchNorm(2, momentum=0.5)
+    x = np.random.default_rng(1).normal(3.0, 1.0, size=(32, 2))
+    for _ in range(20):
+        layer.forward(x, training=True)
+    out = layer.forward(x, training=False)
+    assert abs(out.mean()) < 0.5
+
+
+def test_batchnorm_4d_input_and_gradient_shape():
+    layer = BatchNorm(3)
+    x = np.random.default_rng(2).normal(size=(4, 5, 5, 3))
+    out = layer.forward(x, training=True)
+    assert out.shape == x.shape
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    assert layer.grads["gamma"].shape == (3,)
+
+
+def test_batchnorm_backward_matches_numerical_gradient():
+    rng = np.random.default_rng(3)
+    layer = BatchNorm(3)
+    x = rng.normal(size=(8, 3))
+    grad_out = rng.normal(size=(8, 3))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    epsilon = 1e-6
+    numerical = np.zeros_like(x)
+    for index in np.ndindex(*x.shape):
+        original = x[index]
+        x[index] = original + epsilon
+        plus = float(np.sum(layer.forward(x, training=True) * grad_out))
+        x[index] = original - epsilon
+        minus = float(np.sum(layer.forward(x, training=True) * grad_out))
+        x[index] = original
+        numerical[index] = (plus - minus) / (2 * epsilon)
+    layer.forward(x, training=True)
+    layer.backward(grad_out)
+    np.testing.assert_allclose(grad_in, numerical, atol=1e-4)
+
+
+def test_batchnorm_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        BatchNorm(0)
+    with pytest.raises(ConfigurationError):
+        BatchNorm(4, momentum=1.5)
+    layer = BatchNorm(4)
+    with pytest.raises(ConfigurationError):
+        layer.forward(np.zeros((2, 5)))
+
+
+def test_flatten_roundtrip():
+    layer = Flatten()
+    x = np.arange(24, dtype=np.float64).reshape(2, 3, 4, 1)
+    out = layer.forward(x, training=True)
+    assert out.shape == (2, 12)
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    assert layer.output_shape((3, 4, 1)) == (12,)
+    assert layer.flops((3, 4, 1)) == 0
+
+
+def test_dropout_disabled_at_inference():
+    layer = Dropout(0.5, seed=0)
+    x = np.ones((10, 10))
+    np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+
+def test_dropout_scales_surviving_units():
+    layer = Dropout(0.5, seed=0)
+    x = np.ones((2000, 1))
+    out = layer.forward(x, training=True)
+    kept = out[out > 0]
+    assert np.allclose(kept, 2.0)
+    assert abs(out.mean() - 1.0) < 0.1
+
+
+def test_dropout_backward_uses_same_mask():
+    layer = Dropout(0.3, seed=1)
+    x = np.ones((50, 4))
+    out = layer.forward(x, training=True)
+    grad = layer.backward(np.ones_like(out))
+    np.testing.assert_array_equal((grad > 0), (out > 0))
+
+
+def test_dropout_invalid_rate():
+    with pytest.raises(ConfigurationError):
+        Dropout(1.0)
+    with pytest.raises(ConfigurationError):
+        Dropout(-0.1)
+
+
+@pytest.mark.parametrize("layer_cls", [SimpleRNN, GRUCellLayer, FastGRNNLayer])
+def test_recurrent_layers_output_final_hidden_state(layer_cls):
+    layer = layer_cls(input_size=3, hidden_size=6, seed=0)
+    x = np.random.default_rng(0).normal(size=(4, 7, 3))
+    out = layer.forward(x)
+    assert out.shape == (4, 6)
+    assert layer.output_shape((7, 3)) == (6,)
+    assert layer.flops((7, 3)) > 0
+
+
+@pytest.mark.parametrize("layer_cls", [SimpleRNN, GRUCellLayer, FastGRNNLayer])
+def test_recurrent_backward_matches_numerical_gradient(layer_cls):
+    rng = np.random.default_rng(5)
+    layer = layer_cls(input_size=2, hidden_size=3, seed=1)
+    x = rng.normal(size=(2, 4, 2))
+    grad_out = rng.normal(size=(2, 3))
+    layer.forward(x, training=True)
+    grad_in = layer.backward(grad_out)
+    epsilon = 1e-6
+    numerical = np.zeros_like(x)
+    for index in np.ndindex(*x.shape):
+        original = x[index]
+        x[index] = original + epsilon
+        plus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original - epsilon
+        minus = float(np.sum(layer.forward(x) * grad_out))
+        x[index] = original
+        numerical[index] = (plus - minus) / (2 * epsilon)
+    np.testing.assert_allclose(grad_in, numerical, atol=1e-4)
+
+
+def test_recurrent_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError):
+        SimpleRNN(0, 4)
+    with pytest.raises(ConfigurationError):
+        GRUCellLayer(4, 0)
+    with pytest.raises(ConfigurationError):
+        FastGRNNLayer(-1, 4)
+
+
+def test_fastgrnn_has_fewer_params_than_gru():
+    fast = FastGRNNLayer(8, 16, seed=0)
+    gru = GRUCellLayer(8, 16, seed=0)
+    assert fast.param_count() < gru.param_count() / 2

@@ -1,0 +1,132 @@
+"""Tests for the libei URL grammar, dispatcher, HTTP server and client."""
+
+import pytest
+
+from repro.core import OpenEI
+from repro.data import CameraSensor
+from repro.exceptions import APIError
+from repro.serving import LibEIClient, LibEIDispatcher, LibEIServer, parse_path
+
+
+# -- URL grammar (Fig. 6) -------------------------------------------------------
+
+def test_parse_paper_algorithm_example():
+    request = parse_path("/ei_algorithms/safety/detection/{video=camera1}")
+    assert request.resource_type == "ei_algorithms"
+    assert request.scenario == "safety"
+    assert request.algorithm == "detection"
+    assert request.args == {"video": "camera1"}
+
+
+def test_parse_paper_data_example():
+    request = parse_path("/ei_data/realtime/camera1/{timestamp=123.5}")
+    assert request.resource_type == "ei_data"
+    assert request.data_type == "realtime"
+    assert request.sensor_id == "camera1"
+    assert request.args == {"timestamp": 123.5}
+
+
+def test_parse_query_string_arguments():
+    request = parse_path("/ei_data/historical/camera1/?start=1.0&end=5.5")
+    assert request.data_type == "historical"
+    assert request.args == {"start": 1.0, "end": 5.5}
+
+
+def test_parse_json_style_arguments_and_booleans():
+    request = parse_path('/ei_algorithms/home/power_monitor/{"verbose": true, "count": 3}')
+    assert request.args == {"verbose": True, "count": 3}
+    request2 = parse_path("/ei_algorithms/home/power_monitor/?urgent=true")
+    assert request2.args == {"urgent": True}
+
+
+def test_parse_status_and_invalid_paths():
+    assert parse_path("/ei_status").resource_type == "ei_status"
+    for bad in ("/", "/unknown/a/b", "/ei_algorithms/safety", "/ei_data/streaming/cam1"):
+        with pytest.raises(APIError):
+            parse_path(bad)
+
+
+# -- dispatcher -------------------------------------------------------------------
+
+@pytest.fixture()
+def served_openei(image_zoo):
+    openei = OpenEI(device_name="raspberry-pi-4", zoo=image_zoo)
+    openei.data_store.register_sensor(CameraSensor(sensor_id="camera1", seed=0))
+
+    def detection(ei, args):
+        reading = ei.data_store.realtime(str(args.get("video", "camera1")))
+        return {"timestamp": reading.timestamp, "num_boxes": len(reading.annotations["boxes"])}
+
+    openei.register_algorithm("safety", "detection", detection)
+    return openei
+
+
+def test_dispatcher_status_and_algorithm_and_data(served_openei):
+    dispatcher = LibEIDispatcher(served_openei)
+    status = dispatcher.handle_path("/ei_status")
+    assert status["status"] == "ok" and status["openei"]["device"] == "raspberry-pi-4"
+    result = dispatcher.handle_path("/ei_algorithms/safety/detection/{video=camera1}")
+    assert result["status"] == "ok" and "num_boxes" in result["result"]
+    data = dispatcher.handle_path("/ei_data/realtime/camera1/")
+    assert data["data"]["sensor_id"] == "camera1"
+    historical = dispatcher.handle_path("/ei_data/historical/camera1/?start=0")
+    assert historical["data"]["count"] >= 1
+
+
+def test_dispatcher_safe_handle_maps_errors_to_status_codes(served_openei):
+    dispatcher = LibEIDispatcher(served_openei)
+    assert dispatcher.safe_handle_path("/ei_status")[0] == 200
+    assert dispatcher.safe_handle_path("/ei_algorithms/safety/missing/")[0] == 404
+    assert dispatcher.safe_handle_path("/ei_data/realtime/ghost/")[0] == 404
+    assert dispatcher.safe_handle_path("/nonsense")[0] == 400
+
+    def broken(ei, args):
+        raise ValueError("handler bug")
+
+    served_openei.register_algorithm("safety", "broken", broken)
+    assert dispatcher.safe_handle_path("/ei_algorithms/safety/broken/")[0] == 500
+
+
+# -- HTTP server + client -------------------------------------------------------------
+
+def test_server_round_trip_with_client(served_openei):
+    server = LibEIServer(served_openei)
+    with server.running():
+        client = LibEIClient(server.address)
+        assert client.status()["status"] == "ok"
+        response = client.call_algorithm("safety", "detection", {"video": "camera1"})
+        assert response["status"] == "ok"
+        realtime = client.realtime_data("camera1", timestamp=0.0)
+        assert realtime["data"]["sensor_id"] == "camera1"
+        historical = client.historical_data("camera1", start=0.0, end=100.0)
+        assert historical["data"]["count"] >= 1
+        body, seconds = client.timed_get("/ei_status")
+        assert body["status"] == "ok" and seconds >= 0.0
+        assert server.url.startswith("http://127.0.0.1:")
+
+
+def test_client_raises_api_error_on_missing_resources(served_openei):
+    server = LibEIServer(served_openei)
+    with server.running():
+        client = LibEIClient(server.address)
+        with pytest.raises(APIError):
+            client.call_algorithm("safety", "missing")
+        with pytest.raises(APIError):
+            client.get("/nonsense")
+
+
+def test_client_unreachable_endpoint_raises():
+    client = LibEIClient(("127.0.0.1", 9), timeout_s=0.5)
+    with pytest.raises(APIError):
+        client.status()
+
+
+def test_paper_example_urls_work_end_to_end(served_openei):
+    """The two literal GET examples from Fig. 6 must round-trip over HTTP."""
+    server = LibEIServer(served_openei)
+    with server.running():
+        client = LibEIClient(server.address)
+        algorithm = client.get("/ei_algorithms/safety/detection/%7Bvideo=camera1%7D")
+        assert algorithm["status"] == "ok"
+        data = client.get("/ei_data/realtime/camera1/%7Btimestamp=42%7D")
+        assert data["status"] == "ok"

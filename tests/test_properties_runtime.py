@@ -1,0 +1,108 @@
+"""Property-based tests for the edge runtime scheduler and collaboration invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collaboration import EdgeCluster, split_dataset_across_edges
+from repro.hardware import get_device
+from repro.hardware.device import LAN_LINK, NetworkLink
+from repro.runtime import EdgeRuntime, PriorityScheduler, ResourceAccountant, Task, TaskPriority
+
+
+task_specs = st.lists(
+    st.tuples(
+        st.sampled_from(list(TaskPriority)),
+        st.floats(min_value=0.001, max_value=5.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(task_specs)
+@settings(max_examples=50, deadline=None)
+def test_scheduler_executes_every_task_exactly_once(specs):
+    scheduler = PriorityScheduler(ResourceAccountant(get_device("edge-server")))
+    for index, (priority, seconds) in enumerate(specs):
+        scheduler.submit(Task(f"t{index}", compute_seconds=seconds, priority=priority))
+    executed = scheduler.run_all()
+    assert len(executed) == len(specs)
+    assert scheduler.pending_count() == 0
+    assert len(scheduler.completed) == len(specs)
+
+
+@given(task_specs)
+@settings(max_examples=50, deadline=None)
+def test_scheduler_clock_equals_total_work(specs):
+    scheduler = PriorityScheduler(ResourceAccountant(get_device("edge-server")))
+    for index, (priority, seconds) in enumerate(specs):
+        scheduler.submit(Task(f"t{index}", compute_seconds=seconds, priority=priority))
+    scheduler.run_all()
+    assert scheduler.clock == sum(seconds for _, seconds in specs) or np.isclose(
+        scheduler.clock, sum(seconds for _, seconds in specs)
+    )
+
+
+@given(task_specs)
+@settings(max_examples=50, deadline=None)
+def test_scheduler_priorities_never_inverted(specs):
+    """A completed task never started after a strictly lower-priority task that
+    was submitted no later than it."""
+    scheduler = PriorityScheduler(ResourceAccountant(get_device("edge-server")))
+    tasks = [
+        scheduler.submit(Task(f"t{index}", compute_seconds=seconds, priority=priority))
+        for index, (priority, seconds) in enumerate(specs)
+    ]
+    scheduler.run_all()
+    # All tasks were submitted at time 0, so execution order must be priority-sorted.
+    start_order = sorted(tasks, key=lambda t: t.started_at)
+    priorities = [int(t.priority) for t in start_order]
+    assert priorities == sorted(priorities, reverse=True)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=100.0, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_edge_cluster_shares_sum_to_one_and_speedup_bounded(edge_count, gflop):
+    runtimes = [EdgeRuntime(get_device("raspberry-pi-4"), name=f"pi{i}") for i in range(edge_count)]
+    cluster = EdgeCluster(runtimes, LAN_LINK)
+    plan = cluster.allocate_training(gflop)
+    assert abs(sum(plan.shares.values()) - 1.0) < 1e-9
+    assert plan.speedup <= edge_count + 1e-9
+    assert plan.makespan_s <= plan.single_edge_seconds + 1e-9
+
+
+@given(
+    st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_link_transfer_time_is_monotone_in_payload(bandwidth, latency_ms, loss, payload):
+    link = NetworkLink("property", bandwidth_mbps=bandwidth, latency_ms=latency_ms, loss_rate=loss)
+    small = link.transfer_seconds(payload)
+    large = link.transfer_seconds(payload * 2 + 1)
+    assert large >= small >= latency_ms / 1000.0
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_federated_split_preserves_every_sample_class(edge_count, heterogeneity, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(60, 4))
+    y = rng.integers(0, 3, size=60)
+    clients = split_dataset_across_edges(
+        x, y, [f"edge{i}" for i in range(edge_count)], heterogeneity=heterogeneity, seed=seed
+    )
+    assert len(clients) == edge_count
+    assert all(client.samples > 0 for client in clients)
+    covered = np.concatenate([client.y_train for client in clients])
+    assert set(np.unique(covered)) == set(np.unique(y))
