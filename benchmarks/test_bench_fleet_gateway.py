@@ -1,0 +1,134 @@
+"""Fleet gateway — requests-per-second scaling and selection-cache hit rate.
+
+The seed served every libei request from one OpenEI instance; the fleet
+layer routes `/ei_algorithms/<scenario>/<algorithm>` across N deployed
+instances and memoizes Eq. (1) model selections behind a shared TTL + LRU
+cache.  This bench measures two things:
+
+* HTTP round-trip throughput through the :class:`FleetGateway` at fleet
+  sizes 1 / 4 / 16 (heterogeneous devices cycled from the catalog);
+* the selection-cache hit rate on a repeated-requirement workload — the
+  hot path the cache exists for.  A workload of many requests over a few
+  distinct (device, requirement, target) keys must be served almost
+  entirely from cache (hit rate > 0.9).
+
+Expected shape: throughput is dominated by the threaded HTTP stack, so
+RPS stays flat-ish with fleet size while per-instance load drops ~1/N;
+the cache turns repeated selections from a full zoo re-profile into a
+dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.apps import register_all
+from repro.core.alem import ALEMRequirement, OptimizationTarget
+from repro.serving import EdgeFleet, FleetGateway, LibEIClient, SelectionCache
+
+#: Heterogeneous pool cycled to build fleets of any size.
+DEVICE_POOL = [
+    "raspberry-pi-4",
+    "jetson-tx2",
+    "mobile-phone",
+    "edge-server",
+    "raspberry-pi-3",
+    "jetson-agx-xavier",
+    "intel-movidius",
+]
+
+FLEET_SIZES = (1, 4, 16)
+
+
+def build_fleet(size: int, zoo=None, policy: str = "round-robin") -> EdgeFleet:
+    devices = [DEVICE_POOL[i % len(DEVICE_POOL)] for i in range(size)]
+    fleet = EdgeFleet.deploy(
+        devices, zoo=zoo, policy=policy,
+        selection_cache=SelectionCache(max_size=2048, ttl_s=600.0),
+    )
+    for instance in fleet:
+        register_all(instance.openei, seed=0)
+    return fleet
+
+
+def measure_rps(client: LibEIClient, requests: int = 50) -> float:
+    start = time.perf_counter()
+    for _ in range(requests):
+        body = client.call_algorithm("home", "power_monitor")
+        assert body["status"] == "ok"
+    return requests / (time.perf_counter() - start)
+
+
+@pytest.mark.parametrize("fleet_size", FLEET_SIZES)
+def test_fleet_gateway_rps_scaling(benchmark, fleet_size):
+    fleet = build_fleet(fleet_size)
+    with FleetGateway(fleet) as gateway:
+        client = LibEIClient(gateway.address)
+
+        # every scenario route answers through the gateway before timing
+        for scenario, algorithm in (
+            ("safety", "detection"),
+            ("vehicles", "tracking"),
+            ("home", "power_monitor"),
+            ("health", "activity_recognition"),
+        ):
+            assert client.call_algorithm(scenario, algorithm)["status"] == "ok"
+
+        rps = measure_rps(client)
+        benchmark(client.call_algorithm, "home", "power_monitor")
+
+    served = [instance.requests_served for instance in fleet]
+    print_table(
+        f"Fleet gateway throughput — {fleet_size} instance(s)",
+        f"{'fleet size':>10s} {'RPS':>10s} {'per-instance requests':>24s}",
+        [f"{fleet_size:>10d} {rps:>10.0f} {str(served):>24s}"],
+    )
+    assert rps > 10, "gateway throughput collapsed"
+    # round-robin spreads the load: no instance is more than one request ahead
+    assert max(served) - min(served) <= 1
+
+
+@pytest.mark.parametrize("fleet_size", FLEET_SIZES)
+def test_fleet_selection_cache_hit_rate(benchmark, vision_zoo, fleet_size):
+    fleet = build_fleet(fleet_size, zoo=vision_zoo)
+
+    def select_model(ei, args):
+        requirement = ALEMRequirement(max_memory_mb=args.get("max_memory_mb"))
+        result = ei.select_model(
+            task="image-classification",
+            requirement=requirement,
+            target=OptimizationTarget.LATENCY,
+        )
+        return {"selected": result.selected_name, "device": ei.device.name}
+
+    fleet.register_algorithm("home", "select_model", select_model)
+
+    with FleetGateway(fleet) as gateway:
+        client = LibEIClient(gateway.address)
+
+        def repeated_requirement_workload(requests: int = 100) -> None:
+            # the same requirement over and over — the serving hot path
+            for _ in range(requests):
+                body = client.call_algorithm("home", "select_model",
+                                             {"max_memory_mb": 4096.0})
+                assert body["status"] == "ok"
+
+        repeated_requirement_workload()
+        benchmark(client.call_algorithm, "home", "select_model",
+                  {"max_memory_mb": 4096.0})
+
+    stats = fleet.selection_cache.stats
+    print_table(
+        f"Selection cache on a repeated-requirement workload — {fleet_size} instance(s)",
+        f"{'fleet size':>10s} {'lookups':>9s} {'hits':>7s} {'misses':>7s} {'hit rate':>9s}",
+        [
+            f"{fleet_size:>10d} {stats.lookups:>9d} {stats.hits:>7d} "
+            f"{stats.misses:>7d} {stats.hit_rate:>9.3f}"
+        ],
+    )
+    # at most one cold miss per distinct device in the fleet
+    assert stats.misses <= min(fleet_size, len(DEVICE_POOL))
+    assert stats.hit_rate > 0.9

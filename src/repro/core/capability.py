@@ -64,6 +64,15 @@ class CapabilityEvaluator:
         """Inject a known accuracy (used when evaluation data is unavailable)."""
         self._accuracy_cache[model_name] = float(accuracy)
 
+    @property
+    def accuracy_fingerprint(self) -> Tuple[Tuple[str, float], ...]:
+        """Hashable snapshot of the known accuracies.
+
+        Participates in selection-cache keys so injecting or re-measuring
+        an accuracy invalidates previously cached selections immediately.
+        """
+        return tuple(sorted(self._accuracy_cache.items()))
+
     def evaluate(
         self,
         entry: ZooEntry,

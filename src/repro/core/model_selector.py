@@ -58,8 +58,15 @@ class ModelSelector:
         candidates: Sequence[EvaluatedCandidate],
         requirement: Optional[ALEMRequirement] = None,
         target: Optional[OptimizationTarget] = None,
+        cache=None,
+        cache_key=None,
     ) -> SelectionResult:
         """Solve Eq. (1): optimize ``target`` subject to ``requirement``.
+
+        ``cache``/``cache_key`` hook the fleet serving layer's
+        :class:`~repro.serving.cache.SelectionCache` into the hot path:
+        when both are given, a cached :class:`SelectionResult` for the key
+        is returned without re-ranking, and fresh results are memoized.
 
         Raises
         ------
@@ -67,6 +74,10 @@ class ModelSelector:
             If no candidate satisfies the constraints (the caller may then
             relax them or fall back to cloud offloading).
         """
+        if cache is not None and cache_key is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached
         if not candidates:
             raise ModelSelectionError("no candidates were provided to the selector")
         requirement = requirement or ALEMRequirement()
@@ -79,13 +90,16 @@ class ModelSelector:
                 f"{requirement!r} on the provided candidates"
             )
         ranked = sorted(feasible, key=lambda c: c.alem.objective_value(target))
-        return SelectionResult(
+        result = SelectionResult(
             selected=ranked[0],
             target=target,
             requirement=requirement,
             feasible=ranked,
             infeasible=infeasible,
         )
+        if cache is not None and cache_key is not None:
+            cache.put(cache_key, result)
+        return result
 
     def pareto_front(self, candidates: Sequence[EvaluatedCandidate]) -> List[EvaluatedCandidate]:
         """Candidates not Pareto-dominated by any other candidate."""

@@ -43,16 +43,23 @@ class OpenEI:
         package_name: str = "openei-lite",
         zoo: Optional[ModelZoo] = None,
         data_store: Optional[EdgeDataStore] = None,
+        selection_cache=None,
     ) -> None:
         if device is None and device_name is None:
             raise DeploymentError("OpenEI needs a device or a device name to deploy onto")
         self.device = device or get_device(device_name)  # type: ignore[arg-type]
         self.runtime = EdgeRuntime(self.device)
-        self.zoo = zoo or ModelZoo()
+        # "zoo or ModelZoo()" would discard an *empty* shared zoo (len() == 0
+        # makes it falsy), silently unsharing fleet instances deployed before
+        # any model is registered.
+        self.zoo = zoo if zoo is not None else ModelZoo()
         self.package_manager = PackageManager(self.runtime, self.zoo, package_name=package_name)
         self.capability_evaluator = CapabilityEvaluator(self.zoo, self.package_manager.profiler)
         self.model_selector = ModelSelector()
         self.data_store = data_store or EdgeDataStore()
+        # A repro.serving.cache.SelectionCache (duck-typed here so core does
+        # not import serving); may be shared by every instance of a fleet.
+        self.selection_cache = selection_cache
         self._algorithms: Dict[str, Dict[str, AlgorithmHandler]] = {
             scenario: {} for scenario in self.SCENARIOS
         }
@@ -74,6 +81,9 @@ class OpenEI:
                 scenario: sorted(handlers) for scenario, handlers in self._algorithms.items()
             },
             "sensors": self.data_store.sensor_ids,
+            "selection_cache": (
+                self.selection_cache.describe() if self.selection_cache is not None else None
+            ),
         }
 
     # -- model selection ---------------------------------------------------------
@@ -96,9 +106,39 @@ class OpenEI:
         x_test: Optional[np.ndarray] = None,
         y_test: Optional[np.ndarray] = None,
     ) -> SelectionResult:
-        """Run the Selecting Algorithm for this device and the given requirement."""
+        """Run the Selecting Algorithm for this device and the given requirement.
+
+        When a selection cache is attached, repeated calls with the same
+        (device, task, zoo contents, requirement, target) skip both the
+        capability re-evaluation and the ranking.  Calls that carry fresh
+        evaluation data bypass the cache, since the data may change the
+        measured Accuracy.
+        """
+        requirement = requirement or ALEMRequirement()
+        key = None
+        if self.selection_cache is not None and x_test is None and y_test is None:
+            # the fingerprint covers everything besides the device that
+            # changes the measured ALEM points: the package configuration
+            # (profiles differ per package, and two same-device instances
+            # may share one fleet cache), the zoo contents, and the known
+            # accuracies — so package swaps, register()/remove() and
+            # set_accuracy() all invalidate stale selections immediately
+            fingerprint = (
+                self.capability_evaluator.profiler.package_name,
+                tuple(self.zoo.names),
+                self.capability_evaluator.accuracy_fingerprint,
+            )
+            key = self.selection_cache.make_key(
+                self.device.name, task, fingerprint, requirement, target
+            )
+            cached = self.selection_cache.get(key)
+            if cached is not None:
+                return cached
         candidates = self.evaluate_capability(task=task, x_test=x_test, y_test=y_test)
-        return self.model_selector.select(candidates, requirement=requirement, target=target)
+        result = self.model_selector.select(candidates, requirement=requirement, target=target)
+        if key is not None:
+            self.selection_cache.put(key, result)
+        return result
 
     # -- inference ------------------------------------------------------------------
     def infer(

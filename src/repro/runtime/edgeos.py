@@ -81,6 +81,36 @@ class EdgeRuntime:
         """Drain the scheduler queue."""
         return self.scheduler.run_all()
 
+    # -- load introspection -----------------------------------------------------
+    @property
+    def pending_tasks(self) -> int:
+        """Number of tasks queued but not yet executed."""
+        return self.scheduler.pending_count()
+
+    @property
+    def completed_tasks(self) -> int:
+        """Number of tasks this runtime has finished."""
+        return len(self.scheduler.completed)
+
+    def load_score(self) -> float:
+        """Scalar load signal for fleet routing (lower = more headroom).
+
+        Queued work dominates; memory pressure (in ``[0, 1]``) breaks ties
+        between equally-idle instances.
+        """
+        return float(self.pending_tasks) + self.usage().memory_utilization
+
+    def load(self) -> Dict[str, float]:
+        """Structured load snapshot used by the fleet's least-loaded router."""
+        usage = self.usage()
+        return {
+            "pending_tasks": float(self.pending_tasks),
+            "completed_tasks": float(self.completed_tasks),
+            "memory_utilization": usage.memory_utilization,
+            "virtual_time_s": self.clock(),
+            "load_score": self.load_score(),
+        }
+
     # -- reporting --------------------------------------------------------------
     def usage(self) -> ResourceUsage:
         """Resource snapshot for capability evaluation and the libei device endpoint."""

@@ -1,4 +1,4 @@
-"""libei: the RESTful API of Fig. 6.
+"""libei: the RESTful API of Fig. 6, plus the edge-fleet serving layer.
 
 Every resource — algorithms, data, models, the device itself — is a URL:
 
@@ -7,23 +7,53 @@ Every resource — algorithms, data, models, the device itself — is a URL:
 * ``/ei_data/realtime/<sensor_id>/{timestamp}`` returns the newest sensor
   reading;
 * ``/ei_data/historical/<sensor_id>/{start,end}`` returns a time window;
-* ``/ei_status`` describes the deployed OpenEI instance.
+* ``/ei_status`` describes the deployed OpenEI instance (or whole fleet).
 
-:mod:`repro.serving.api` parses and dispatches URLs against an
-:class:`~repro.core.openei.OpenEI` instance without any network;
-:mod:`repro.serving.server` exposes the same dispatcher over a threaded
-stdlib HTTP server, and :mod:`repro.serving.client` is a small urllib
-client for it.
+:mod:`repro.serving.api` parses URLs and dispatches them against any
+:class:`~repro.serving.api.LibEITarget` without any network;
+:mod:`repro.serving.server` exposes a target over a threaded stdlib HTTP
+server, and :mod:`repro.serving.client` is a small urllib client with
+replica failover.
+
+The fleet layer scales the same grammar to many devices:
+:mod:`repro.serving.fleet` deploys N OpenEI instances behind one
+:class:`~repro.serving.fleet.FleetGateway`, :mod:`repro.serving.router`
+chooses which instance serves each request (round-robin, least-loaded,
+capability-aware), and :mod:`repro.serving.cache` memoizes Eq. (1) model
+selections behind a TTL + LRU :class:`~repro.serving.cache.SelectionCache`.
 """
 
-from repro.serving.api import LibEIDispatcher, ParsedRequest, parse_path
+from repro.serving.api import LibEIDispatcher, LibEITarget, ParsedRequest, parse_path
+from repro.serving.cache import CacheStats, SelectionCache, TTLLRUCache
 from repro.serving.client import LibEIClient
+from repro.serving.fleet import EdgeFleet, FleetGateway, FleetInstance
+from repro.serving.router import (
+    ROUTING_POLICIES,
+    CapabilityAwareRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RoutingPolicy,
+    make_router,
+)
 from repro.serving.server import LibEIServer
 
 __all__ = [
+    "CacheStats",
+    "CapabilityAwareRouter",
+    "EdgeFleet",
+    "FleetGateway",
+    "FleetInstance",
+    "LeastLoadedRouter",
     "LibEIClient",
     "LibEIDispatcher",
     "LibEIServer",
+    "LibEITarget",
     "ParsedRequest",
+    "ROUTING_POLICIES",
+    "RoundRobinRouter",
+    "RoutingPolicy",
+    "SelectionCache",
+    "TTLLRUCache",
+    "make_router",
     "parse_path",
 ]

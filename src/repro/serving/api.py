@@ -11,11 +11,38 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Protocol, runtime_checkable
 from urllib.parse import parse_qsl, unquote, urlparse
 
-from repro.core.openei import OpenEI
 from repro.exceptions import APIError, ResourceNotFoundError
+
+
+@runtime_checkable
+class LibEITarget(Protocol):
+    """Anything libei requests can be dispatched against.
+
+    Both a single deployed :class:`~repro.core.openei.OpenEI` instance and
+    a whole :class:`~repro.serving.fleet.EdgeFleet` implement this
+    surface, which is what lets one dispatcher/server code path serve
+    either — the gateway is just a :class:`LibEIServer` whose target
+    happens to route.
+    """
+
+    def describe(self) -> Dict[str, object]:
+        """Status summary for ``/ei_status``."""
+
+    def call_algorithm(
+        self, scenario: str, name: str, args: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """Run ``/ei_algorithms/<scenario>/<name>``."""
+
+    def get_realtime_data(self, sensor_id: str) -> Dict[str, object]:
+        """Serve ``/ei_data/realtime/<sensor_id>``."""
+
+    def get_historical_data(
+        self, sensor_id: str, start: float, end: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Serve ``/ei_data/historical/<sensor_id>``."""
 
 
 @dataclass
@@ -107,10 +134,21 @@ def parse_path(path: str) -> ParsedRequest:
 
 
 class LibEIDispatcher:
-    """Dispatch parsed requests against a deployed OpenEI instance."""
+    """Dispatch parsed requests against any :class:`LibEITarget`.
 
-    def __init__(self, openei: OpenEI) -> None:
-        self.openei = openei
+    The dispatcher is target-agnostic: a single OpenEI instance and an
+    :class:`~repro.serving.fleet.EdgeFleet` share this exact handler path,
+    so URL grammar, error mapping and response shapes cannot drift between
+    single-device servers and the fleet gateway.
+    """
+
+    def __init__(self, target: LibEITarget) -> None:
+        self.target = target
+
+    @property
+    def openei(self) -> LibEITarget:
+        """Backward-compatible alias from when the only target was OpenEI."""
+        return self.target
 
     def handle_path(self, path: str) -> Dict[str, object]:
         """Parse and dispatch a URL path, returning a JSON-serializable response."""
@@ -119,21 +157,21 @@ class LibEIDispatcher:
     def handle(self, request: ParsedRequest) -> Dict[str, object]:
         """Dispatch a parsed request."""
         if request.resource_type == "ei_status":
-            return {"status": "ok", "openei": self.openei.describe()}
+            return {"status": "ok", "openei": self.target.describe()}
         if request.resource_type == "ei_algorithms":
             assert request.scenario is not None and request.algorithm is not None
-            result = self.openei.call_algorithm(request.scenario, request.algorithm, request.args)
+            result = self.target.call_algorithm(request.scenario, request.algorithm, request.args)
             return {"status": "ok", "scenario": request.scenario, "algorithm": request.algorithm,
                     "result": result}
         if request.resource_type == "ei_data":
             assert request.sensor_id is not None
             if request.data_type == "realtime":
-                data = self.openei.get_realtime_data(request.sensor_id)
+                data = self.target.get_realtime_data(request.sensor_id)
             else:
                 start = float(request.args.get("start", 0.0))
                 end_arg = request.args.get("end")
                 end = float(end_arg) if end_arg is not None else None
-                data = self.openei.get_historical_data(request.sensor_id, start, end)
+                data = self.target.get_historical_data(request.sensor_id, start, end)
             return {"status": "ok", "data": data}
         raise APIError(f"unhandled resource type {request.resource_type!r}")
 

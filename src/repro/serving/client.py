@@ -3,35 +3,72 @@
 This is what "other edges and IoT devices" use to call a peer's
 algorithms and read its data (Section III.D) — and what the Fig. 6
 benchmark uses to measure round-trip latency.
+
+The client accepts either one ``(host, port)`` address or a list of
+replica addresses (several :class:`~repro.serving.fleet.FleetGateway`
+front-ends over one fleet).  When a replica is unreachable it fails over
+to the next one, sticking with whichever last answered; ``retries``
+adds full extra passes over the replica set with ``backoff_s`` sleeps
+in between.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import APIError
+from repro.exceptions import APIError, ConfigurationError
+
+Address = Tuple[str, int]
+
+
+def _normalize_addresses(address: Union[Address, Sequence[Address]]) -> List[Address]:
+    """Accept one (host, port) pair or a sequence of them."""
+    if isinstance(address, tuple) and len(address) == 2 and isinstance(address[0], str):
+        return [(address[0], int(address[1]))]
+    addresses = [(str(host), int(port)) for host, port in address]
+    if not addresses:
+        raise ConfigurationError("LibEIClient needs at least one endpoint address")
+    return addresses
 
 
 class LibEIClient:
-    """HTTP client speaking the libei URL grammar."""
+    """HTTP client speaking the libei URL grammar, with replica failover."""
 
-    def __init__(self, address: Tuple[str, int], timeout_s: float = 10.0) -> None:
-        host, port = address
-        self.base_url = f"http://{host}:{port}"
+    def __init__(
+        self,
+        address: Union[Address, Sequence[Address]],
+        timeout_s: float = 10.0,
+        retries: int = 0,
+        backoff_s: float = 0.0,
+    ) -> None:
+        if retries < 0 or backoff_s < 0:
+            raise ConfigurationError("retries and backoff_s must be non-negative")
+        self.addresses = _normalize_addresses(address)
         self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self._primary = 0  # index of the replica that last answered
+
+    @property
+    def base_url(self) -> str:
+        """URL of the current primary replica."""
+        host, port = self.addresses[self._primary]
+        return f"http://{host}:{port}"
 
     # -- low-level ------------------------------------------------------------
-    def get(self, path: str) -> Dict[str, object]:
-        """GET a path and return the decoded JSON body (raises APIError on failure)."""
-        url = self.base_url + path
+    def _get_from(self, replica_index: int, path: str) -> Dict[str, object]:
+        """GET from one replica; APIError for HTTP errors and malformed bodies."""
+        host, port = self.addresses[replica_index]
+        url = f"http://{host}:{port}" + path
         try:
             with urllib.request.urlopen(url, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
+                raw = response.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             try:
                 body = json.loads(exc.read().decode("utf-8"))
@@ -39,8 +76,40 @@ class LibEIClient:
             except Exception:  # noqa: BLE001 - body may not be JSON
                 message = str(exc)
             raise APIError(f"libei request failed ({exc.code}): {message}") from exc
-        except urllib.error.URLError as exc:
-            raise APIError(f"libei endpoint unreachable: {exc.reason}") from exc
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise APIError(
+                f"libei endpoint returned malformed JSON: {raw[:80]!r}"
+            ) from exc
+
+    def get(self, path: str) -> Dict[str, object]:
+        """GET a path, failing over across replicas (raises APIError on failure).
+
+        Unreachable replicas (connection refused, timeout) trigger
+        failover to the next address; HTTP error responses and malformed
+        bodies do not, since the endpoint did answer.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            for offset in range(len(self.addresses)):
+                index = (self._primary + offset) % len(self.addresses)
+                try:
+                    body = self._get_from(index, path)
+                # OSError covers URLError, timeouts and mid-read resets
+                # (ConnectionResetError); HTTPException covers truncated
+                # responses (IncompleteRead).  APIError — an HTTP error
+                # status or malformed body — is NOT caught: the replica
+                # answered, so failing over would mask real errors.
+                except (OSError, http.client.HTTPException) as exc:
+                    last_error = exc
+                    continue
+                self._primary = index
+                return body
+            if attempt < self.retries and self.backoff_s > 0:
+                time.sleep(self.backoff_s)
+        reason = getattr(last_error, "reason", last_error)
+        raise APIError(f"libei endpoint unreachable: {reason}") from last_error
 
     def timed_get(self, path: str) -> Tuple[Dict[str, object], float]:
         """GET a path and also return the wall-clock round-trip seconds."""

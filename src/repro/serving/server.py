@@ -7,8 +7,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro.core.openei import OpenEI
-from repro.serving.api import LibEIDispatcher
+from repro.serving.api import LibEIDispatcher, LibEITarget
 
 
 class _LibEIRequestHandler(BaseHTTPRequestHandler):
@@ -31,18 +30,23 @@ class _LibEIRequestHandler(BaseHTTPRequestHandler):
 
 
 class LibEIServer:
-    """A libei HTTP endpoint for one deployed OpenEI instance.
+    """A libei HTTP endpoint for one dispatch target.
 
-    Usage::
+    The target is anything implementing
+    :class:`~repro.serving.api.LibEITarget` — a single deployed OpenEI
+    instance, or an :class:`~repro.serving.fleet.EdgeFleet` (which is how
+    :class:`~repro.serving.fleet.FleetGateway` is built).
 
-        server = LibEIServer(openei)
-        with server.running():
+    The server is its own context manager, so examples and tests cannot
+    leak sockets::
+
+        with LibEIServer(openei) as server:
             client = LibEIClient(server.address)
             client.get("/ei_status")
     """
 
-    def __init__(self, openei: OpenEI, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.dispatcher = LibEIDispatcher(openei)
+    def __init__(self, target: LibEITarget, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.dispatcher = target if isinstance(target, LibEIDispatcher) else LibEIDispatcher(target)
         handler = type(
             "BoundLibEIRequestHandler",
             (_LibEIRequestHandler,),
@@ -70,13 +74,24 @@ class LibEIServer:
         self._thread.start()
 
     def stop(self) -> None:
-        """Stop the server and join its thread."""
-        if self._thread is None:
-            return
-        self._server.shutdown()
-        self._thread.join(timeout=5.0)
+        """Stop the server, join its thread, and close the listening socket.
+
+        Safe to call repeatedly; ``server_close()`` runs even if the
+        server never started, so a constructed-but-unused server does not
+        leak its bound socket either.
+        """
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
         self._server.server_close()
-        self._thread = None
+
+    def __enter__(self) -> "LibEIServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
 
     def running(self):
         """Context manager that starts the server on entry and stops it on exit."""

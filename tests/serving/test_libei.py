@@ -1,10 +1,14 @@
 """Tests for the libei URL grammar, dispatcher, HTTP server and client."""
 
+import threading
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
 import pytest
 
 from repro.core import OpenEI
 from repro.data import CameraSensor
-from repro.exceptions import APIError
+from repro.exceptions import APIError, ReproError
 from repro.serving import LibEIClient, LibEIDispatcher, LibEIServer, parse_path
 
 
@@ -119,6 +123,122 @@ def test_client_unreachable_endpoint_raises():
     client = LibEIClient(("127.0.0.1", 9), timeout_s=0.5)
     with pytest.raises(APIError):
         client.status()
+
+
+# -- client error paths ----------------------------------------------------------
+
+class _CannedHandler(BaseHTTPRequestHandler):
+    """Replies to every GET with a fixed (status, body) pair."""
+
+    canned_status = 200
+    canned_body = b"{}"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        del format, args
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self.send_response(self.canned_status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(self.canned_body)))
+        self.end_headers()
+        self.wfile.write(self.canned_body)
+
+
+@contextmanager
+def canned_server(status: int, body: bytes):
+    handler = type("Handler", (_CannedHandler,), {"canned_status": status, "canned_body": body})
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()
+
+
+def test_client_non_200_json_error_body():
+    with canned_server(503, b'{"status": "error", "error": "fleet draining"}') as address:
+        client = LibEIClient(address)
+        with pytest.raises(APIError, match="503.*fleet draining"):
+            client.status()
+
+
+def test_client_non_200_non_json_error_body():
+    with canned_server(500, b"<html>boom</html>") as address:
+        client = LibEIClient(address)
+        with pytest.raises(APIError, match="500"):
+            client.status()
+
+
+def test_client_malformed_json_on_success_status():
+    with canned_server(200, b"this is not json") as address:
+        client = LibEIClient(address)
+        with pytest.raises(APIError, match="malformed JSON"):
+            client.status()
+
+
+def test_client_connection_refused_fails_over_to_replica(served_openei):
+    server = LibEIServer(served_openei)
+    with server:
+        dead = ("127.0.0.1", 9)  # discard port: connection refused
+        client = LibEIClient([dead, server.address], timeout_s=2.0)
+        assert client.status()["status"] == "ok"
+        # the client sticks with the replica that answered
+        host, port = server.address
+        assert client.base_url == f"http://{host}:{port}"
+
+
+class _TruncatingHandler(BaseHTTPRequestHandler):
+    """Advertises a large body but closes the connection early."""
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        del format, args
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", "1000")
+        self.end_headers()
+        self.wfile.write(b'{"status"')  # far fewer than 1000 bytes
+
+
+def test_client_mid_read_failure_fails_over(served_openei):
+    broken = ThreadingHTTPServer(("127.0.0.1", 0), _TruncatingHandler)
+    thread = threading.Thread(target=broken.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with LibEIServer(served_openei) as good:
+            client = LibEIClient([broken.server_address, good.address], timeout_s=2.0)
+            assert client.status()["status"] == "ok"
+    finally:
+        broken.shutdown()
+        thread.join(timeout=5.0)
+        broken.server_close()
+
+
+def test_client_all_replicas_down_raises_after_retries():
+    client = LibEIClient([("127.0.0.1", 9), ("127.0.0.1", 10)], timeout_s=0.5,
+                         retries=1, backoff_s=0.0)
+    with pytest.raises(APIError, match="unreachable"):
+        client.status()
+
+
+def test_client_rejects_invalid_configuration():
+    with pytest.raises(ReproError):
+        LibEIClient([])
+    with pytest.raises(ReproError):
+        LibEIClient(("127.0.0.1", 9), retries=-1)
+
+
+def test_server_is_its_own_context_manager(served_openei):
+    with LibEIServer(served_openei) as server:
+        assert LibEIClient(server.address).status()["status"] == "ok"
+    # socket is fully closed after exit: a fresh server can rebind the port
+    host, port = server.address
+    rebound = LibEIServer(served_openei, host=host, port=port)
+    rebound.stop()  # also safe on a never-started server
 
 
 def test_paper_example_urls_work_end_to_end(served_openei):
