@@ -12,6 +12,7 @@ is exactly what the Fig. 3 benchmark reports.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -119,9 +120,11 @@ class DataflowRunner:
     ) -> DataflowMetrics:
         """Upload every sample to the cloud, infer there, download results."""
         record = self.cloud.download(model_name)
-        bytes_per_sample = bytes_per_sample or float(x[0].nbytes)
+        # an explicit 0.0 (e.g. pre-staged data) must not fall back to nbytes
+        if bytes_per_sample is None:
+            bytes_per_sample = float(x[0].nbytes)
         upload_bytes = bytes_per_sample * len(x)
-        upload_time = sum(self.link.transfer_seconds(bytes_per_sample) for _ in range(len(x)))
+        upload_time = self.link.transfer_seconds(bytes_per_sample) * len(x)
         cloud_profile = self.cloud.profiler.profile(record.model, record.input_shape, self.cloud.device)
         compute_time = cloud_profile.latency_s * len(x)
         download_time = self.link.transfer_seconds(self.result_bytes) * len(x)
@@ -181,7 +184,11 @@ class DataflowRunner:
             samples=len(x_local_train),
             epochs=learner.epochs,
         )
-        personalized = learner.retrain(record.model, x_local_train, y_local_train)
+        # retrain a private copy: the record's model may be shared (a cloud
+        # implementation that serves its registry object directly would
+        # otherwise hand every later caller a silently personalized model)
+        local_model = copy.deepcopy(record.model)
+        personalized = learner.retrain(local_model, x_local_train, y_local_train)
         profile = self.edge_profiler.profile(personalized, record.input_shape, self.edge_device)
         compute_time = profile.latency_s * len(x)
         predictions = personalized.predict(x)

@@ -9,7 +9,7 @@ and a registry of scenario algorithms reachable through libei's
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.core.model_selector import ModelSelector, SelectionResult
 from repro.core.model_zoo import ModelZoo
 from repro.core.package_manager import InferenceOutcome, PackageManager
 from repro.data.store import EdgeDataStore
-from repro.exceptions import DeploymentError, ResourceNotFoundError
+from repro.exceptions import BatchContractError, DeploymentError, ResourceNotFoundError
 from repro.hardware.catalog import get_device
 from repro.hardware.device import DeviceSpec
 from repro.hardware.profiler import make_profiler
@@ -28,6 +28,13 @@ from repro.runtime.edgeos import EdgeRuntime
 #: Signature of a scenario algorithm: it receives the OpenEI instance and
 #: the request arguments and returns a JSON-serializable dictionary.
 AlgorithmHandler = Callable[["OpenEI", Dict[str, object]], Dict[str, object]]
+
+#: Signature of a batch-capable scenario algorithm: one call over a list of
+#: request argument dicts, returning one result per request *in order* —
+#: typically a single vectorized ``predict`` over stacked inputs.
+BatchAlgorithmHandler = Callable[
+    ["OpenEI", List[Dict[str, object]]], List[Dict[str, object]]
+]
 
 
 class OpenEI:
@@ -63,6 +70,7 @@ class OpenEI:
         self._algorithms: Dict[str, Dict[str, AlgorithmHandler]] = {
             scenario: {} for scenario in self.SCENARIOS
         }
+        self._batch_algorithms: Dict[Tuple[str, str], BatchAlgorithmHandler] = {}
 
     # -- deployment -----------------------------------------------------------
     @classmethod
@@ -175,11 +183,27 @@ class OpenEI:
         return selection, outcome
 
     # -- algorithm registry (libei's /ei_algorithms) -----------------------------------
-    def register_algorithm(self, scenario: str, name: str, handler: AlgorithmHandler) -> None:
-        """Expose ``handler`` as ``/ei_algorithms/<scenario>/<name>``."""
+    def register_algorithm(
+        self,
+        scenario: str,
+        name: str,
+        handler: AlgorithmHandler,
+        batch_handler: Optional[BatchAlgorithmHandler] = None,
+    ) -> None:
+        """Expose ``handler`` as ``/ei_algorithms/<scenario>/<name>``.
+
+        ``batch_handler`` optionally serves a whole list of concurrent
+        requests in one call (see :meth:`call_algorithm_batch`); it must
+        return exactly one result per request, in request order, and each
+        result must match what ``handler`` returns for the same args.
+        """
         if scenario not in self._algorithms:
             self._algorithms[scenario] = {}
         self._algorithms[scenario][name] = handler
+        if batch_handler is not None:
+            self._batch_algorithms[(scenario, name)] = batch_handler
+        else:
+            self._batch_algorithms.pop((scenario, name), None)
 
     def algorithms(self, scenario: Optional[str] = None) -> Dict[str, List[str]]:
         """Registered algorithm names, optionally for one scenario."""
@@ -197,6 +221,37 @@ class OpenEI:
                 f"no algorithm {name!r} registered for scenario {scenario!r}"
             )
         return handlers[name](self, dict(args or {}))
+
+    def call_algorithm_batch(
+        self,
+        scenario: str,
+        name: str,
+        args_list: Sequence[Optional[Dict[str, object]]],
+    ) -> List[Dict[str, object]]:
+        """Serve many ``/ei_algorithms`` requests for one algorithm in one call.
+
+        With a registered batch handler the whole list is answered by a
+        single invocation (a vectorized ``predict`` over stacked inputs);
+        otherwise the per-request handler runs in a loop, so batching is
+        always correct and merely faster when the algorithm opts in.
+        """
+        handlers = self._algorithms.get(scenario)
+        if handlers is None or name not in handlers:
+            raise ResourceNotFoundError(
+                f"no algorithm {name!r} registered for scenario {scenario!r}"
+            )
+        calls = [dict(args or {}) for args in args_list]
+        batch_handler = self._batch_algorithms.get((scenario, name))
+        if batch_handler is None:
+            handler = handlers[name]
+            return [handler(self, args) for args in calls]
+        results = list(batch_handler(self, calls))
+        if len(results) != len(calls):
+            raise BatchContractError(
+                f"batch handler for {scenario}/{name} returned {len(results)} "
+                f"results for {len(calls)} requests"
+            )
+        return results
 
     # -- data access (libei's /ei_data) ---------------------------------------------------
     def get_realtime_data(self, sensor_id: str) -> Dict[str, object]:

@@ -51,3 +51,7 @@ class ResourceNotFoundError(APIError):
 
 class CollaborationError(ReproError):
     """A cloud-edge or edge-edge collaboration step failed."""
+
+
+class BatchContractError(APIError):
+    """A batch handler violated the batching contract (wrong result count)."""

@@ -1,0 +1,345 @@
+"""Wall-clock concurrent execution of EdgeOS tasks.
+
+The :class:`~repro.runtime.scheduler.PriorityScheduler` models one device
+in *virtual* time; this module runs the same :class:`~repro.runtime.tasks.Task`
+objects with *real* concurrency on a pool of worker threads — what the
+paper's real-time module needs once an edge actually serves traffic.
+
+Three properties carry over from the virtual-time scheduler:
+
+* **strict-priority admission** — workers always admit the
+  highest-priority pending task; while the head task cannot be admitted,
+  nothing behind it starts (non-preemptive head-of-line blocking, the
+  same guarantee the virtual scheduler gives REALTIME work);
+* **memory-reservation backpressure** — admission reserves
+  ``task.memory_mb`` through the shared
+  :class:`~repro.runtime.resources.ResourceAccountant`; when the device
+  is full, admission blocks until running work releases memory, and a
+  task that can *never* fit fails fast with
+  :class:`~repro.exceptions.ResourceExhaustedError`;
+* **deadline accounting** — ``submitted_at`` / ``started_at`` /
+  ``finished_at`` are stamped in wall-clock seconds since the executor's
+  epoch, so :attr:`Task.completion_time` / :attr:`Task.met_deadline` and
+  the ``completion_times()`` / ``deadline_miss_rate()`` reporting surface
+  mean exactly what they mean on :class:`PriorityScheduler`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import ResourceExhaustedError, SchedulingError
+from repro.runtime.resources import ResourceAccountant
+from repro.runtime.tasks import Task, TaskState
+
+
+class ExecutionHandle:
+    """Future-like handle for one task submitted to a :class:`ConcurrentExecutor`."""
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether the task has finished (completed or failed)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the task finishes; returns False on timeout."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The work function's return value; re-raises its exception."""
+        if not self._event.wait(timeout):
+            raise SchedulingError(f"task {self.task.name!r} did not finish in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The exception the task failed with, if any."""
+        if not self._event.wait(timeout):
+            raise SchedulingError(f"task {self.task.name!r} did not finish in time")
+        return self._error
+
+
+class _Admission:
+    """Heap entry: strict priority first, then FIFO within a priority."""
+
+    __slots__ = ("sort_key", "task", "fn", "handle")
+
+    def __init__(self, sort_key: tuple, task: Task,
+                 fn: Optional[Callable[[], Any]], handle: ExecutionHandle) -> None:
+        self.sort_key = sort_key
+        self.task = task
+        self.fn = fn
+        self.handle = handle
+
+    def __lt__(self, other: "_Admission") -> bool:
+        return self.sort_key < other.sort_key
+
+
+class ConcurrentExecutor:
+    """Thread-pool executor running :class:`Task`s with real concurrency.
+
+    Parameters
+    ----------
+    accountant:
+        The device's resource accountant; admission reserves each task's
+        ``memory_mb`` against it and completion releases it.  The
+        executor serializes its own accesses, so sharing the accountant
+        with an :class:`~repro.runtime.edgeos.EdgeRuntime` is safe as
+        long as the runtime is not mutating it from other threads.
+    max_workers:
+        Number of worker threads (wall-clock concurrency).
+    time_scale:
+        When a task is submitted *without* a work function, the worker
+        sleeps ``task.compute_seconds * time_scale`` to model the load;
+        ``0.0`` makes such tasks instantaneous.
+
+    Usage::
+
+        with ConcurrentExecutor(accountant, max_workers=4) as pool:
+            handle = pool.submit(task, fn=lambda: model.predict(x))
+            prediction = handle.result()
+    """
+
+    def __init__(
+        self,
+        accountant: ResourceAccountant,
+        max_workers: int = 4,
+        time_scale: float = 1.0,
+    ) -> None:
+        if max_workers < 1:
+            raise SchedulingError("ConcurrentExecutor needs at least one worker")
+        if time_scale < 0:
+            raise SchedulingError("time_scale must be non-negative")
+        self.accountant = accountant
+        self.max_workers = int(max_workers)
+        self.time_scale = float(time_scale)
+        self._cond = threading.Condition()
+        self._pending: List[_Admission] = []
+        self._sequence = itertools.count()
+        self._inflight = 0
+        self._running = False
+        self._workers: List[threading.Thread] = []
+        self._epoch = time.monotonic()
+        self.completed: List[Task] = []
+        self.failed: List[Task] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ConcurrentExecutor":
+        """Spawn the worker threads (idempotent)."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        for index in range(self.max_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"edgeos-exec-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers.
+
+        Pending tasks that never started are failed with
+        :class:`SchedulingError` so no caller blocks forever on a handle.
+        """
+        with self._cond:
+            self._running = False
+            abandoned = self._pending
+            self._pending = []
+            self._cond.notify_all()
+        for admission in abandoned:
+            admission.task.state = TaskState.FAILED
+            self.failed.append(admission.task)
+            admission.handle._finish(
+                error=SchedulingError("executor shut down before the task started")
+            )
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout=5.0)
+        self._workers = []
+
+    def __enter__(self) -> "ConcurrentExecutor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- submission -----------------------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    @property
+    def clock(self) -> float:
+        """Wall-clock seconds since the executor's epoch (mirrors the virtual clock)."""
+        return self._now()
+
+    def submit(
+        self,
+        task: Task,
+        fn: Optional[Callable[..., Any]] = None,
+        *args: Any,
+        **kwargs: Any,
+    ) -> ExecutionHandle:
+        """Queue ``task`` for concurrent execution; returns its handle.
+
+        ``fn(*args, **kwargs)`` is the actual work; without one, the
+        worker sleeps the scaled ``compute_seconds`` (pure load model).
+        """
+        handle = ExecutionHandle(task)
+        work = (lambda: fn(*args, **kwargs)) if fn is not None else None
+        with self._cond:
+            if not self._running:
+                raise SchedulingError("executor is not running; call start() first")
+            task.submitted_at = self._now()
+            task.state = TaskState.PENDING
+            admission = _Admission(
+                sort_key=(-int(task.priority), next(self._sequence)),
+                task=task, fn=work, handle=handle,
+            )
+            heapq.heappush(self._pending, admission)
+            self._cond.notify_all()
+        return handle
+
+    def pending_count(self) -> int:
+        """Tasks admitted to the queue but not yet started."""
+        with self._cond:
+            return len(self._pending)
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no task is pending or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._pending or self._inflight:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    # -- worker ---------------------------------------------------------------
+    def _admit_next(self) -> Optional[_Admission]:
+        """Pop the head task once its memory reservation succeeds (holds the lock).
+
+        Strict priority: only the head of the heap is considered.  While
+        its reservation fails the worker waits for running tasks to
+        release memory — nothing of lower priority overtakes it.
+        Returns ``None`` when the executor stops.
+        """
+        while True:
+            if not self._running:
+                return None
+            if not self._pending:
+                self._cond.wait()
+                continue
+            head = self._pending[0]
+            task = head.task
+            if task.memory_mb > self.accountant.device.memory_mb:
+                # can never fit on this device: fail fast
+                heapq.heappop(self._pending)
+                task.state = TaskState.FAILED
+                self.failed.append(task)
+                head.handle._finish(error=ResourceExhaustedError(
+                    f"task {task.name!r} needs {task.memory_mb:.1f} MB but device "
+                    f"{self.accountant.device.name} has {self.accountant.device.memory_mb:.1f} MB"
+                ))
+                self._cond.notify_all()
+                continue
+            try:
+                self.accountant.reserve_memory(task.task_id, task.memory_mb)
+            except ResourceExhaustedError as exc:
+                if self._inflight == 0:
+                    # nothing this executor runs will ever release memory
+                    # (an outside owner holds the reservation): fail fast
+                    # instead of deadlocking the whole admission queue
+                    heapq.heappop(self._pending)
+                    task.state = TaskState.FAILED
+                    self.failed.append(task)
+                    head.handle._finish(error=exc)
+                    self._cond.notify_all()
+                    continue
+                # backpressure: wait for a completion to release memory
+                self._cond.wait()
+                continue
+            heapq.heappop(self._pending)
+            self._inflight += 1
+            task.state = TaskState.RUNNING
+            task.started_at = self._now()
+            return head
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                admission = self._admit_next()
+            if admission is None:
+                return
+            task, handle = admission.task, admission.handle
+            result: Any = None
+            error: Optional[BaseException] = None
+            try:
+                if admission.fn is not None:
+                    result = admission.fn()
+                elif task.compute_seconds > 0 and self.time_scale > 0:
+                    time.sleep(task.compute_seconds * self.time_scale)
+            except BaseException as exc:  # noqa: BLE001 - reported via the handle
+                error = exc
+            with self._cond:
+                self.accountant.release_memory(task.task_id)
+                self._inflight -= 1
+                task.finished_at = self._now()
+                if error is None:
+                    task.state = TaskState.COMPLETED
+                    self.completed.append(task)
+                else:
+                    task.state = TaskState.FAILED
+                    self.failed.append(task)
+                self._cond.notify_all()
+            handle._finish(result=result, error=error)
+
+    # -- reporting (PriorityScheduler-compatible) ------------------------------
+    def completion_times(self, kind: Optional[str] = None) -> Dict[str, float]:
+        """Map task name -> wall-clock completion time for completed tasks."""
+        times = {}
+        for task in list(self.completed):
+            if kind is not None and task.kind != kind:
+                continue
+            if task.completion_time is not None:
+                times[f"{task.name}#{task.task_id}"] = task.completion_time
+        return times
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-bearing completed tasks that missed their deadline."""
+        with_deadline = [t for t in list(self.completed) if t.deadline_s is not None]
+        if not with_deadline:
+            return 0.0
+        missed = sum(1 for t in with_deadline if not t.met_deadline)
+        return missed / len(with_deadline)
+
+    def describe(self) -> Dict[str, object]:
+        """Status snapshot for runtime introspection."""
+        with self._cond:
+            return {
+                "max_workers": self.max_workers,
+                "running": self._running,
+                "pending": len(self._pending),
+                "inflight": self._inflight,
+                "completed": len(self.completed),
+                "failed": len(self.failed),
+                "clock_s": self._now(),
+            }

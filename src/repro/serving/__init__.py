@@ -21,9 +21,16 @@ The fleet layer scales the same grammar to many devices:
 chooses which instance serves each request (round-robin, least-loaded,
 capability-aware), and :mod:`repro.serving.cache` memoizes Eq. (1) model
 selections behind a TTL + LRU :class:`~repro.serving.cache.SelectionCache`.
+
+Under concurrency, :mod:`repro.serving.batching` micro-batches
+same-algorithm requests into one vectorized invocation
+(:class:`~repro.serving.batching.BatchingDispatcher`); pass
+``batching=BatchingConfig(...)`` to :class:`LibEIServer` or
+:class:`~repro.serving.fleet.FleetGateway` to turn it on.
 """
 
 from repro.serving.api import LibEIDispatcher, LibEITarget, ParsedRequest, parse_path
+from repro.serving.batching import BatchingConfig, BatchingDispatcher, BatchingStats
 from repro.serving.cache import CacheStats, SelectionCache, TTLLRUCache
 from repro.serving.client import LibEIClient
 from repro.serving.fleet import EdgeFleet, FleetGateway, FleetInstance
@@ -38,6 +45,9 @@ from repro.serving.router import (
 from repro.serving.server import LibEIServer
 
 __all__ = [
+    "BatchingConfig",
+    "BatchingDispatcher",
+    "BatchingStats",
     "CacheStats",
     "CapabilityAwareRouter",
     "EdgeFleet",

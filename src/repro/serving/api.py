@@ -133,6 +133,21 @@ def parse_path(path: str) -> ParsedRequest:
     raise APIError(f"unknown resource type {resource!r}")
 
 
+def _numeric_arg(args: Dict[str, object], key: str, default: Optional[float]) -> Optional[float]:
+    """Read a numeric request argument, mapping bad values to a 400-class APIError."""
+    value = args.get(key, default)
+    if value is None:
+        # an explicit JSON null means "not provided", same as an absent key
+        return default
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise APIError(
+            f"argument {key!r} must be a number, got {value!r} "
+            f"(e.g. /ei_data/historical/<sensor>/?start=0&end=10)"
+        ) from None
+
+
 class LibEIDispatcher:
     """Dispatch parsed requests against any :class:`LibEITarget`.
 
@@ -168,9 +183,8 @@ class LibEIDispatcher:
             if request.data_type == "realtime":
                 data = self.target.get_realtime_data(request.sensor_id)
             else:
-                start = float(request.args.get("start", 0.0))
-                end_arg = request.args.get("end")
-                end = float(end_arg) if end_arg is not None else None
+                start = _numeric_arg(request.args, "start", default=0.0)
+                end = _numeric_arg(request.args, "end", default=None)
                 data = self.target.get_historical_data(request.sensor_id, start, end)
             return {"status": "ok", "data": data}
         raise APIError(f"unhandled resource type {request.resource_type!r}")

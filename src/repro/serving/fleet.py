@@ -20,12 +20,13 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.model_zoo import ModelZoo
-from repro.core.openei import AlgorithmHandler, OpenEI
+from repro.core.openei import AlgorithmHandler, BatchAlgorithmHandler, OpenEI
 from repro.exceptions import ConfigurationError, ResourceNotFoundError
 from repro.serving.api import ParsedRequest
+from repro.serving.batching import BatchingConfig
 from repro.serving.cache import SelectionCache
 from repro.serving.router import RoutingPolicy, make_router
 from repro.serving.server import LibEIServer
@@ -156,10 +157,16 @@ class EdgeFleet:
             f"known: {[i.instance_id for i in self._instances]}"
         )
 
-    def register_algorithm(self, scenario: str, name: str, handler: AlgorithmHandler) -> None:
+    def register_algorithm(
+        self,
+        scenario: str,
+        name: str,
+        handler: AlgorithmHandler,
+        batch_handler: Optional[BatchAlgorithmHandler] = None,
+    ) -> None:
         """Expose a handler on every instance (any replica can then serve it)."""
         for instance in self._instances:
-            instance.openei.register_algorithm(scenario, name, handler)
+            instance.openei.register_algorithm(scenario, name, handler, batch_handler)
 
     # -- routing ----------------------------------------------------------------
     def route(self, request: Optional[ParsedRequest] = None) -> FleetInstance:
@@ -203,6 +210,33 @@ class EdgeFleet:
         result.setdefault("served_by", instance.instance_id)
         return result
 
+    def call_algorithm_batch(
+        self,
+        scenario: str,
+        name: str,
+        args_list: Sequence[Optional[Dict[str, object]]],
+    ) -> List[Dict[str, object]]:
+        """Route one micro-batch of same-algorithm calls to a single instance.
+
+        The whole batch lands on the policy's chosen replica so its
+        batch handler can answer it with one vectorized invocation.
+        """
+        request = ParsedRequest(
+            resource_type="ei_algorithms", scenario=scenario, algorithm=name,
+            args=dict(args_list[0] or {}) if args_list else {},
+        )
+        instance = self.route(request)
+        results = instance.openei.call_algorithm_batch(scenario, name, args_list)
+        # count only after success: a failed batch is retried per request by
+        # the batching dispatcher, and those retries count themselves
+        self._count_request(instance, count=len(args_list))
+        tagged = []
+        for result in results:
+            result = dict(result)
+            result.setdefault("served_by", instance.instance_id)
+            tagged.append(result)
+        return tagged
+
     def get_realtime_data(self, sensor_id: str) -> Dict[str, object]:
         """Serve a realtime data call from an instance owning the sensor."""
         instance = self._instance_with_sensor(sensor_id)
@@ -217,10 +251,10 @@ class EdgeFleet:
         self._count_request(instance)
         return instance.openei.get_historical_data(sensor_id, start, end)
 
-    def _count_request(self, instance: FleetInstance) -> None:
+    def _count_request(self, instance: FleetInstance, count: int = 1) -> None:
         """Bump a request counter under the fleet lock (handler threads race)."""
         with self._stats_lock:
-            instance.requests_served += 1
+            instance.requests_served += count
 
     # -- statistics --------------------------------------------------------------
     def cache_stats(self) -> Optional[Dict[str, object]]:
@@ -237,9 +271,18 @@ class FleetGateway(LibEIServer):
     tell a fleet from a single instance, except that ``/ei_status`` now
     reports fleet-wide state and responses carry a ``served_by`` field.
     Run several gateways over one fleet for replica failover (see
-    :class:`~repro.serving.client.LibEIClient`).
+    :class:`~repro.serving.client.LibEIClient`).  Passing
+    ``batching=BatchingConfig(...)`` micro-batches concurrent
+    same-algorithm requests before they are routed, so one replica
+    answers the whole batch with a single vectorized invocation.
     """
 
-    def __init__(self, fleet: EdgeFleet, host: str = "127.0.0.1", port: int = 0) -> None:
-        super().__init__(fleet, host=host, port=port)
+    def __init__(
+        self,
+        fleet: EdgeFleet,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batching: Optional[BatchingConfig] = None,
+    ) -> None:
+        super().__init__(fleet, host=host, port=port, batching=batching)
         self.fleet = fleet

@@ -7,7 +7,9 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from repro.exceptions import ConfigurationError
 from repro.serving.api import LibEIDispatcher, LibEITarget
+from repro.serving.batching import BatchingConfig, BatchingDispatcher
 
 
 class _LibEIRequestHandler(BaseHTTPRequestHandler):
@@ -43,9 +45,28 @@ class LibEIServer:
         with LibEIServer(openei) as server:
             client = LibEIClient(server.address)
             client.get("/ei_status")
+
+    Passing ``batching=BatchingConfig(...)`` wraps the target in a
+    :class:`~repro.serving.batching.BatchingDispatcher`, so concurrent
+    same-algorithm requests from the handler threads coalesce into one
+    vectorized invocation.
     """
 
-    def __init__(self, target: LibEITarget, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        target: LibEITarget,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batching: Optional[BatchingConfig] = None,
+    ) -> None:
+        self.batching: Optional[BatchingDispatcher] = None
+        if batching is not None:
+            if isinstance(target, LibEIDispatcher):
+                raise ConfigurationError(
+                    "batching= cannot wrap an already-built LibEIDispatcher; "
+                    "pass the raw target (OpenEI / EdgeFleet) instead"
+                )
+            target = self.batching = BatchingDispatcher(target, config=batching)
         self.dispatcher = target if isinstance(target, LibEIDispatcher) else LibEIDispatcher(target)
         handler = type(
             "BoundLibEIRequestHandler",

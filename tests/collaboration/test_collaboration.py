@@ -220,3 +220,59 @@ def test_ddnn_rejects_invalid_inputs(images_dataset, ddnn_models):
                          WAN_LINK, (16, 16, 1))
     with pytest.raises(CollaborationError):
         ddnn.run(np.zeros((0, 16, 16, 1)), np.zeros(0))
+
+
+# -- dataflow regressions (PR 2) -----------------------------------------------------
+
+def test_edge_retraining_does_not_mutate_the_downloaded_record(cloud_and_data):
+    """Regression: retraining must fine-tune a private copy, so even a cloud
+    that serves its registry record directly keeps its global model pristine."""
+    cloud, dataset, personalized = cloud_and_data
+
+    class SharingCloud:
+        """Serves the *same* record object to every caller (no defensive copy)."""
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.device = inner.device
+            self.profiler = inner.profiler
+            self.record = inner.download("global-mlp")
+
+        def download(self, name):
+            return self.record
+
+        def upload_retrained(self, name, model):
+            self.inner.upload_retrained(name, model)
+
+    sharing = SharingCloud(cloud)
+    runner = DataflowRunner(sharing, get_device("raspberry-pi-4"), WAN_LINK)
+    before = {k: v.copy() for k, v in sharing.record.model.get_weights().items()}
+    metrics, personalized_model = runner.edge_retraining(
+        "global-mlp",
+        personalized.x_train[:60],
+        personalized.y_train[:60],
+        personalized.x_test,
+        personalized.y_test,
+        learner=TransferLearner(epochs=2),
+        upload_to_cloud=False,
+    )
+    after = sharing.record.model.get_weights()
+    for key in before:
+        np.testing.assert_array_equal(before[key], after[key])
+    assert personalized_model is not sharing.record.model
+    assert personalized_model.metadata.get("personalized") is True
+    assert "personalized" not in sharing.record.model.metadata
+
+
+def test_cloud_inference_honors_explicit_zero_bytes_per_sample(cloud_and_data):
+    """Regression: bytes_per_sample=0.0 (pre-staged data) fell back to nbytes."""
+    cloud, dataset, _ = cloud_and_data
+    runner = DataflowRunner(cloud, get_device("raspberry-pi-4"), WAN_LINK)
+    staged = runner.cloud_inference(
+        "global-mlp", dataset.x_test, dataset.y_test, bytes_per_sample=0.0
+    )
+    assert staged.bytes_uploaded == 0.0
+    default = runner.cloud_inference("global-mlp", dataset.x_test, dataset.y_test)
+    assert default.bytes_uploaded == pytest.approx(
+        float(dataset.x_test[0].nbytes) * len(dataset.x_test)
+    )

@@ -1,0 +1,203 @@
+"""Tests for the wall-clock ConcurrentExecutor: concurrency, admission, backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ResourceExhaustedError, SchedulingError
+from repro.hardware import get_device
+from repro.runtime import ConcurrentExecutor, ResourceAccountant, Task, TaskPriority, TaskState
+
+
+def _accountant(device="raspberry-pi-4"):
+    return ResourceAccountant(get_device(device))
+
+
+def _task(name, memory_mb=1.0, priority=TaskPriority.NORMAL, deadline_s=None):
+    return Task(name, compute_seconds=0.0, memory_mb=memory_mb,
+                priority=priority, deadline_s=deadline_s)
+
+
+def test_executor_runs_tasks_with_wall_clock_concurrency():
+    with ConcurrentExecutor(_accountant(), max_workers=4) as pool:
+        start = time.monotonic()
+        handles = [
+            pool.submit(Task(f"sleep{i}", compute_seconds=0.15, memory_mb=8.0))
+            for i in range(4)
+        ]
+        for handle in handles:
+            handle.result(timeout=5.0)
+        elapsed = time.monotonic() - start
+    # four 0.15 s tasks on four workers finish in ~one task's time, not four
+    assert elapsed < 0.45
+    assert len(pool.completed) == 4
+    assert all(t.state is TaskState.COMPLETED for t in pool.completed)
+
+
+def test_executor_returns_work_function_result_and_exceptions():
+    with ConcurrentExecutor(_accountant(), max_workers=2) as pool:
+        ok = pool.submit(_task("ok"), lambda a, b: a + b, 2, 3)
+        assert ok.result(timeout=5.0) == 5
+
+        def boom():
+            raise ValueError("kaput")
+
+        bad = pool.submit(_task("bad"), fn=boom)
+        with pytest.raises(ValueError):
+            bad.result(timeout=5.0)
+        assert isinstance(bad.exception(), ValueError)
+        assert bad.task.state is TaskState.FAILED
+        assert bad.task in pool.failed
+
+
+def test_executor_strict_priority_admission():
+    order = []
+    lock = threading.Lock()
+    gate = threading.Event()
+
+    def record(name):
+        with lock:
+            order.append(name)
+
+    with ConcurrentExecutor(_accountant(), max_workers=1) as pool:
+        blocker = pool.submit(_task("blocker"), gate.wait, 5.0)
+        # queued while the single worker is busy: admission must pick by priority
+        low = pool.submit(_task("low", priority=TaskPriority.BACKGROUND),
+                          record, "low")
+        urgent = pool.submit(_task("urgent", priority=TaskPriority.REALTIME),
+                             record, "urgent")
+        normal = pool.submit(_task("normal", priority=TaskPriority.NORMAL),
+                             record, "normal")
+        gate.set()
+        for handle in (blocker, low, urgent, normal):
+            handle.result(timeout=5.0)
+    assert order == ["urgent", "normal", "low"]
+
+
+def test_executor_memory_backpressure_blocks_until_release():
+    accountant = _accountant("raspberry-pi-3")  # 1024 MB
+    gate = threading.Event()
+    with ConcurrentExecutor(accountant, max_workers=2) as pool:
+        first = pool.submit(Task("big", compute_seconds=0.0, memory_mb=800.0),
+                            gate.wait, 5.0)
+        second = pool.submit(Task("also-big", compute_seconds=0.0, memory_mb=800.0))
+        time.sleep(0.1)
+        # both fit the device individually but not together: second waits
+        assert not second.done()
+        assert second.task.state is TaskState.PENDING
+        gate.set()
+        first.result(timeout=5.0)
+        second.result(timeout=5.0)
+    assert second.task.started_at >= first.task.finished_at
+    assert accountant.available_memory_mb() == pytest.approx(1024.0)
+
+
+def test_executor_head_of_line_blocking_is_strict():
+    """A small low-priority task must not overtake a blocked high-priority one."""
+    accountant = _accountant("raspberry-pi-3")  # 1024 MB
+    gate = threading.Event()
+    started = threading.Event()
+
+    def hold():
+        started.set()
+        gate.wait(5.0)
+
+    with ConcurrentExecutor(accountant, max_workers=2) as pool:
+        holder = pool.submit(Task("holder", compute_seconds=0.0, memory_mb=900.0), hold)
+        assert started.wait(5.0), "holder never started"
+        big_high = pool.submit(Task("big-high", compute_seconds=0.0, memory_mb=500.0,
+                                    priority=TaskPriority.HIGH))
+        tiny_low = pool.submit(Task("tiny-low", compute_seconds=0.0, memory_mb=10.0,
+                                    priority=TaskPriority.BACKGROUND))
+        time.sleep(0.1)
+        # tiny_low would fit right now, but strict admission keeps it behind big_high
+        assert not tiny_low.done() and not big_high.done()
+        gate.set()
+        holder.result(timeout=5.0)
+        big_high.result(timeout=5.0)
+        tiny_low.result(timeout=5.0)
+    assert tiny_low.task.started_at >= big_high.task.started_at
+
+
+def test_executor_fails_fast_on_impossible_reservation():
+    with ConcurrentExecutor(_accountant("raspberry-pi-3"), max_workers=1) as pool:
+        handle = pool.submit(Task("huge", compute_seconds=0.0, memory_mb=10_000.0))
+        with pytest.raises(ResourceExhaustedError):
+            handle.result(timeout=5.0)
+        assert handle.task.state is TaskState.FAILED
+        assert handle.task in pool.failed
+        # the executor keeps serving after the failure
+        ok = pool.submit(_task("ok"), fn=lambda: "fine")
+        assert ok.result(timeout=5.0) == "fine"
+
+
+def test_executor_deadline_accounting_matches_scheduler_semantics():
+    gate = threading.Event()
+    with ConcurrentExecutor(_accountant(), max_workers=1) as pool:
+        blocker = pool.submit(_task("blocker"), gate.wait, 5.0)
+        tight = pool.submit(_task("tight", deadline_s=0.05))
+        roomy = pool.submit(_task("roomy", deadline_s=30.0))
+        time.sleep(0.2)
+        gate.set()
+        for handle in (blocker, tight, roomy):
+            handle.result(timeout=5.0)
+        assert tight.task.met_deadline is False
+        assert roomy.task.met_deadline is True
+        assert pool.deadline_miss_rate() == pytest.approx(0.5)
+        times = pool.completion_times()
+        assert f"tight#{tight.task.task_id}" in times
+        assert times[f"tight#{tight.task.task_id}"] >= 0.2
+
+
+def test_executor_rejects_submission_when_not_running():
+    pool = ConcurrentExecutor(_accountant(), max_workers=1)
+    with pytest.raises(SchedulingError):
+        pool.submit(_task("early"))
+    pool.start()
+    pool.shutdown()
+    with pytest.raises(SchedulingError):
+        pool.submit(_task("late"))
+
+
+def test_executor_shutdown_fails_pending_tasks_instead_of_hanging():
+    gate = threading.Event()
+    started = threading.Event()
+
+    def hold():
+        started.set()
+        gate.wait(5.0)
+
+    pool = ConcurrentExecutor(_accountant(), max_workers=1).start()
+    blocker = pool.submit(_task("blocker"), hold)
+    assert started.wait(5.0), "blocker never started"
+    queued = pool.submit(_task("queued"))
+    # the worker is still blocked, so the queued task never starts
+    pool.shutdown(wait=False)
+    assert isinstance(queued.exception(timeout=1.0), SchedulingError)
+    assert queued.task.state is TaskState.FAILED
+    gate.set()
+    blocker.result(timeout=5.0)
+
+
+def test_executor_validates_configuration():
+    with pytest.raises(SchedulingError):
+        ConcurrentExecutor(_accountant(), max_workers=0)
+    with pytest.raises(SchedulingError):
+        ConcurrentExecutor(_accountant(), time_scale=-1.0)
+
+
+def test_executor_fails_fast_when_external_reservation_starves_it():
+    """Memory held by an outside owner must not deadlock admission."""
+    accountant = _accountant("raspberry-pi-3")  # 1024 MB
+    accountant.reserve_memory(owner_id=-1, memory_mb=700.0)  # not the executor's
+    with ConcurrentExecutor(accountant, max_workers=1) as pool:
+        handle = pool.submit(Task("starved", compute_seconds=0.0, memory_mb=500.0))
+        with pytest.raises(ResourceExhaustedError):
+            handle.result(timeout=5.0)
+        assert handle.task.state is TaskState.FAILED
+        # once the outside owner releases, new work is admitted again
+        accountant.release_memory(-1)
+        ok = pool.submit(Task("fits", compute_seconds=0.0, memory_mb=500.0))
+        ok.result(timeout=5.0)
+        assert ok.task.state is TaskState.COMPLETED

@@ -209,3 +209,78 @@ def test_migration_unknown_peer_raises():
     with pytest.raises(MigrationError):
         planner.estimate_remote_seconds(Task("x", compute_seconds=1.0), 10.0, "ghost")
     assert planner.peers == ()
+
+
+# -- scheduler regressions (PR 2) ---------------------------------------------------
+
+def test_scheduler_future_realtime_does_not_inflate_eligible_tasks():
+    """A REALTIME task queued for a future at_time must not run before
+    already-eligible work and drag the clock forward (regression)."""
+    scheduler = _scheduler()
+    low = scheduler.submit(Task("low", compute_seconds=1.0, priority=TaskPriority.BACKGROUND))
+    urgent = scheduler.submit(
+        Task("urgent", compute_seconds=0.1, priority=TaskPriority.REALTIME), at_time=5.0
+    )
+    executed = scheduler.run_all()
+    assert [t.name for t in executed] == ["low", "urgent"]
+    # the low-priority task completes at its true virtual time...
+    assert low.completion_time == pytest.approx(1.0)
+    # ...and the realtime task starts exactly when it arrives
+    assert urgent.started_at == pytest.approx(5.0)
+    assert scheduler.clock == pytest.approx(5.1)
+
+
+def test_scheduler_advances_clock_to_earliest_submission_when_idle():
+    scheduler = _scheduler()
+    late = scheduler.submit(Task("late", compute_seconds=0.5), at_time=10.0)
+    later = scheduler.submit(Task("later", compute_seconds=0.5), at_time=20.0)
+    first = scheduler.run_next()
+    assert first is late and late.started_at == pytest.approx(10.0)
+    assert scheduler.clock == pytest.approx(10.5)
+    scheduler.run_next()
+    assert later.started_at == pytest.approx(20.0)
+
+
+def test_scheduler_future_task_becomes_eligible_as_clock_advances():
+    scheduler = _scheduler()
+    scheduler.submit(Task("bg", compute_seconds=3.0, priority=TaskPriority.BACKGROUND))
+    urgent = scheduler.submit(
+        Task("urgent", compute_seconds=0.1, priority=TaskPriority.REALTIME), at_time=1.0
+    )
+    tail = scheduler.submit(Task("tail", compute_seconds=1.0, priority=TaskPriority.BACKGROUND))
+    executed = scheduler.run_all()
+    # bg runs 0..3; by then urgent (arrived at 1.0) outranks the queued tail
+    assert [t.name for t in executed] == ["bg", "urgent", "tail"]
+    assert urgent.started_at == pytest.approx(3.0)
+
+
+def test_scheduler_does_not_swallow_unexpected_exceptions(monkeypatch):
+    scheduler = _scheduler()
+    scheduler.submit(Task("doomed", compute_seconds=0.1))
+
+    def broken_reserve(owner_id, memory_mb):
+        raise RuntimeError("accountant bug")
+
+    monkeypatch.setattr(scheduler.accountant, "reserve_memory", broken_reserve)
+    with pytest.raises(RuntimeError):
+        scheduler.run_next()
+
+
+def test_scheduler_run_all_reports_failed_tasks():
+    scheduler = _scheduler("raspberry-pi-3")
+    ok = scheduler.submit(Task("ok", compute_seconds=0.1, memory_mb=10.0))
+    huge = scheduler.submit(Task("huge", compute_seconds=0.1, memory_mb=10_000.0))
+    executed = scheduler.run_all()
+    assert ok in executed and huge in executed
+    assert huge.state is TaskState.FAILED and huge in scheduler.failed
+
+
+def test_scheduler_run_all_strict_raises_after_draining():
+    from repro.exceptions import SchedulingError
+
+    scheduler = _scheduler("raspberry-pi-3")
+    scheduler.submit(Task("ok", compute_seconds=0.1, memory_mb=10.0))
+    scheduler.submit(Task("huge", compute_seconds=0.1, memory_mb=10_000.0))
+    with pytest.raises(SchedulingError, match="huge"):
+        scheduler.run_all(strict=True)
+    assert scheduler.pending_count() == 0

@@ -250,3 +250,26 @@ def test_paper_example_urls_work_end_to_end(served_openei):
         assert algorithm["status"] == "ok"
         data = client.get("/ei_data/realtime/camera1/%7Btimestamp=42%7D")
         assert data["status"] == "ok"
+
+
+def test_historical_non_numeric_args_map_to_400(served_openei):
+    """Regression: non-numeric start/end used to escape as ValueError -> HTTP 500."""
+    dispatcher = LibEIDispatcher(served_openei)
+    for path in (
+        "/ei_data/historical/camera1/?start=abc",
+        "/ei_data/historical/camera1/?start=0&end=never",
+        "/ei_data/historical/camera1/{start=[1]}",
+    ):
+        status, body = dispatcher.safe_handle_path(path)
+        assert status == 400, path
+        assert "must be a number" in body["error"]
+    with pytest.raises(APIError):
+        dispatcher.handle_path("/ei_data/historical/camera1/?start=abc")
+    # numeric strings and plain numbers still work
+    dispatcher.handle_path("/ei_data/realtime/camera1/")  # record one reading
+    assert dispatcher.safe_handle_path("/ei_data/historical/camera1/?start=0&end=100")[0] == 200
+    # an explicit JSON null means "not provided", not a type error (and not a 500)
+    status, body = dispatcher.safe_handle_path(
+        '/ei_data/historical/camera1/{"start": null, "end": null}'
+    )
+    assert status == 200 and body["data"]["start"] == 0.0 and body["data"]["end"] is None
