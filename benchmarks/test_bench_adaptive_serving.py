@@ -1,0 +1,156 @@
+"""Adaptive serving under drift — recovery time after a device slowdown.
+
+PR 1/2 made the gateway fast; this bench shows it *staying within SLO*.
+A fleet serves an accuracy-oriented selection (``vgg`` on the Pi 4) under
+a ``max_latency_s`` SLO.  Mid-stream, the device slows down 1.5x (thermal
+throttling / co-tenant contention, emulated through
+:meth:`EdgeRuntime.set_slowdown`), pushing the deployed model over its
+latency budget.  The :class:`~repro.serving.adaptive.AdaptiveController`
+runs one control cycle per request; the bench measures **recovery**: how
+many requests (and how much wall clock) pass between the injected
+slowdown and the first response that meets the SLO again — with the
+gateway never restarted.
+
+The recovery bound is mechanical: the telemetry window (size W) must
+accumulate enough slow samples for the windowed mean to cross the SLO,
+so recovery completes within W requests of the injection.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the stream for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.alem import ALEMRequirement, OptimizationTarget
+from repro.serving import (
+    ALEMTelemetry,
+    AdaptiveController,
+    EdgeFleet,
+    LibEIDispatcher,
+    SLOPolicy,
+)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+HEALTHY_REQUESTS = 24 if SMOKE else 96
+POST_RECOVERY_REQUESTS = 24 if SMOKE else 96
+WINDOW_SIZE = 8
+MIN_SAMPLES = 4
+MAX_LATENCY_S = 0.004
+SLOWDOWN = 1.5
+ACCURACIES = {"vgg-lite": 0.95, "lenet": 0.90, "squeezenet": 0.85, "mobilenet": 0.80,
+              "mobilenet-compressed": 0.78}
+
+
+def build_adaptive_fleet(vision_zoo):
+    fleet = EdgeFleet.deploy(
+        ["raspberry-pi-4"], zoo=vision_zoo, telemetry=ALEMTelemetry(window_size=WINDOW_SIZE)
+    )
+    for instance in fleet:
+        for name, accuracy in ACCURACIES.items():
+            instance.openei.capability_evaluator.set_accuracy(name, accuracy)
+    controller = AdaptiveController(fleet)
+    controller.add_policy(SLOPolicy(
+        scenario="safety",
+        algorithm="classify",
+        task="image-classification",
+        requirement=ALEMRequirement(min_accuracy=0.5, max_latency_s=MAX_LATENCY_S),
+        target=OptimizationTarget.ACCURACY,
+        min_samples=MIN_SAMPLES,
+    ))
+    controller.register_handlers()
+    return fleet, controller
+
+
+def serve_one(dispatcher, controller, seq: int):
+    """One live request plus one control cycle (the production loop shape)."""
+    body = dispatcher.handle_path(f"/ei_algorithms/safety/classify/?seq={seq}")
+    events = controller.check_all()
+    return body["result"], events
+
+
+def test_bench_recovery_after_injected_slowdown(benchmark, vision_zoo):
+    fleet, controller = build_adaptive_fleet(vision_zoo)
+    dispatcher = LibEIDispatcher(fleet)
+    instance = fleet.instances[0]
+    initial_model = controller.deployments()[0].model_name
+
+    # phase 1: healthy stream, SLO met, controller idle
+    start = time.perf_counter()
+    for seq in range(HEALTHY_REQUESTS):
+        result, events = serve_one(dispatcher, controller, seq)
+        assert not events
+        assert result["observed_alem"]["latency_s"] <= MAX_LATENCY_S
+    healthy_elapsed = time.perf_counter() - start
+    assert controller.stats.reselections == 0
+
+    # phase 2: inject the slowdown; count requests until the SLO holds again
+    instance.openei.runtime.set_slowdown(SLOWDOWN)
+    recovery_requests = None
+    reselection_events = []
+    recovery_started = time.perf_counter()
+    for seq in range(4 * WINDOW_SIZE):
+        result, events = serve_one(dispatcher, controller, seq)
+        reselection_events.extend(events)
+        if result["observed_alem"]["latency_s"] <= MAX_LATENCY_S:
+            recovery_requests = seq + 1
+            break
+    recovery_elapsed = time.perf_counter() - recovery_started
+
+    assert recovery_requests is not None, "the controller never recovered the SLO"
+    assert [e.outcome for e in reselection_events] == ["reselected"]
+    assert reselection_events[0].old_model == initial_model
+    assert reselection_events[0].invalidated_keys >= 1
+    # detection needs the windowed mean to cross the SLO: within W requests
+    assert recovery_requests <= WINDOW_SIZE
+
+    # phase 3: the hot-swapped deployment keeps the SLO without restarts
+    swapped_model = controller.deployments()[0].model_name
+    for seq in range(POST_RECOVERY_REQUESTS):
+        result, events = serve_one(dispatcher, controller, seq)
+        assert not events
+        assert result["model"] == swapped_model
+        assert result["observed_alem"]["latency_s"] <= MAX_LATENCY_S
+
+    status = fleet.describe()
+    assert status["adaptive"]["reselections"] == 1
+    assert status["selection_cache"]["invalidations"] >= 1
+
+    benchmark(fleet.call_algorithm, "safety", "classify", {"seq": 0})
+
+    print_table(
+        "Adaptive serving — recovery from a mid-stream device slowdown",
+        f"{'slowdown':>9s} {'SLO (ms)':>9s} {'recovery (reqs)':>16s} "
+        f"{'recovery (ms)':>14s} {'healthy RPS':>12s} {'model swap':>24s}",
+        [
+            f"{SLOWDOWN:>8.1f}x {MAX_LATENCY_S * 1e3:>9.1f} {recovery_requests:>16d} "
+            f"{recovery_elapsed * 1e3:>14.1f} {HEALTHY_REQUESTS / healthy_elapsed:>12.0f} "
+            f"{initial_model + ' -> ' + swapped_model:>24s}"
+        ],
+    )
+
+
+def test_bench_control_cycle_overhead(benchmark, vision_zoo):
+    """The idle control cycle must stay cheap enough to run per request."""
+    fleet, controller = build_adaptive_fleet(vision_zoo)
+    dispatcher = LibEIDispatcher(fleet)
+    for seq in range(WINDOW_SIZE):  # fill the windows
+        dispatcher.handle_path(f"/ei_algorithms/safety/classify/?seq={seq}")
+
+    iterations = 50 if SMOKE else 400
+    start = time.perf_counter()
+    for _ in range(iterations):
+        controller.check_all()
+    per_cycle_s = (time.perf_counter() - start) / iterations
+    benchmark(controller.check_all)
+
+    print_table(
+        "Adaptive serving — idle control-cycle overhead",
+        f"{'cycles':>7s} {'per cycle (us)':>15s}",
+        [f"{iterations:>7d} {per_cycle_s * 1e6:>15.1f}"],
+    )
+    # an idle check over one policy must be far below the request budget
+    assert per_cycle_s < MAX_LATENCY_S

@@ -8,6 +8,7 @@ direction the paper describes — keeping the health data on the edge.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 import numpy as np
@@ -87,13 +88,22 @@ def register_connected_health(
     openei.data_store.register_sensor(sensor)
 
     def activity_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
         reading = ei.data_store.realtime(str(args.get("sensor", sensor_id)))
         result = recognizer.recognize(reading.payload)
+        truth = reading.annotations["activity_name"]
         result.update(
             {
                 "sensor_id": reading.sensor_id,
                 "timestamp": reading.timestamp,
-                "ground_truth": reading.annotations["activity_name"],
+                "ground_truth": truth,
+                # per-request ALEM observation for the adaptive control
+                # plane: wall clock scaled by the runtime's emulated
+                # slowdown; accuracy is per-window correctness
+                "observed_alem": {
+                    "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
+                    "accuracy": 1.0 if result["activity_name"] == truth else 0.0,
+                },
             }
         )
         return result

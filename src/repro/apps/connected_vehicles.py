@@ -9,6 +9,7 @@ simulator's ground-truth trajectory is the scenario's accuracy metric.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -97,6 +98,7 @@ def register_connected_vehicles(
     openei.data_store.register_sensor(camera)
 
     def tracking_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
         frames = int(args.get("frames", 1))
         readings = ei.data_store.capture(str(args.get("video", camera_id)), count=max(1, frames))
         positions: List[List[float]] = []
@@ -111,6 +113,11 @@ def register_connected_vehicles(
             "track": positions,
             "ground_truth": truths,
             "predicted_next": [float(prediction[0]), float(prediction[1])],
+            # per-request latency observation for the adaptive control
+            # plane (wall clock scaled by the emulated device slowdown)
+            "observed_alem": {
+                "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
+            },
         }
 
     openei.register_algorithm("vehicles", "tracking", tracking_handler)

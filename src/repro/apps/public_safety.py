@@ -13,6 +13,7 @@ Two algorithms are exposed, matching the URLs in Fig. 4 and Fig. 6:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -123,6 +124,7 @@ def register_public_safety(openei: OpenEI, camera_id: str = "camera1", seed: int
     openei.data_store.register_sensor(camera)
 
     def detection_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
         reading = ei.data_store.realtime(str(args.get("video", camera_id)))
         detections = detector.detect(reading.payload)
         return {
@@ -130,9 +132,15 @@ def register_public_safety(openei: OpenEI, camera_id: str = "camera1", seed: int
             "timestamp": reading.timestamp,
             "detections": [{"box": list(d.box), "score": d.score} for d in detections],
             "ground_truth_boxes": reading.annotations.get("boxes", []),
+            # per-request latency observation for the adaptive control
+            # plane (wall clock scaled by the emulated device slowdown)
+            "observed_alem": {
+                "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
+            },
         }
 
     def firearm_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
         reading = ei.data_store.realtime(str(args.get("video", camera_id)))
         detections = detector.detect(reading.payload)
         flagged = flag_suspicious(detections)
@@ -141,6 +149,9 @@ def register_public_safety(openei: OpenEI, camera_id: str = "camera1", seed: int
             "timestamp": reading.timestamp,
             "alerts": [{"box": list(d.box), "score": d.score} for d in flagged],
             "alert": bool(flagged),
+            "observed_alem": {
+                "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
+            },
         }
 
     openei.register_algorithm("safety", "detection", detection_handler)

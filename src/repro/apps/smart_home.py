@@ -10,6 +10,7 @@ consumption data leaves the home.
 
 from __future__ import annotations
 
+import time
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -80,10 +81,19 @@ def register_smart_home(
     openei.data_store.register_sensor(meter)
 
     def power_monitor_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
         reading = ei.data_store.realtime(str(args.get("meter", meter_id)))
         total = float(reading.payload[0])
         states = monitor.infer_states(total)
+        truth = tuple(bool(s) for s in reading.annotations["appliance_states"])
         return {
+            # per-request ALEM observation for the adaptive control plane:
+            # wall-clock compute scaled by the runtime's emulated slowdown,
+            # plus per-appliance state accuracy against the ground truth
+            "observed_alem": {
+                "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
+                "accuracy": float(np.mean([p == t for p, t in zip(states, truth)])),
+            },
             "sensor_id": reading.sensor_id,
             "timestamp": reading.timestamp,
             "total_watts": total,

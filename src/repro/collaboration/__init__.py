@@ -14,7 +14,13 @@
 """
 
 from repro.collaboration.cloud import CloudSimulator, TrainedModelRecord
-from repro.collaboration.cloud_edge import DataflowMetrics, DataflowRunner, TransferLearner
+from repro.collaboration.cloud_edge import (
+    CloudOffloadPlanner,
+    DataflowMetrics,
+    DataflowRunner,
+    OffloadPlan,
+    TransferLearner,
+)
 from repro.collaboration.ddnn import DDNNInference, DDNNResult
 from repro.collaboration.edge_edge import CollaborativeTrainingPlan, EdgeCluster
 from repro.collaboration.federation import (
@@ -25,6 +31,7 @@ from repro.collaboration.federation import (
 )
 
 __all__ = [
+    "CloudOffloadPlanner",
     "CloudSimulator",
     "CollaborativeTrainingPlan",
     "DDNNInference",
@@ -35,6 +42,7 @@ __all__ = [
     "FederatedClient",
     "FederatedResult",
     "FederatedTrainer",
+    "OffloadPlan",
     "split_dataset_across_edges",
     "TrainedModelRecord",
     "TransferLearner",

@@ -14,16 +14,21 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.collaboration.cloud import CloudSimulator
-from repro.exceptions import CollaborationError
+from repro.exceptions import CollaborationError, ModelSelectionError
 from repro.hardware.device import DeviceSpec, NetworkLink
 from repro.hardware.profiler import ALEMProfiler
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Adam, Optimizer
+
+if TYPE_CHECKING:  # repro.core imports this module (TransferLearner), so the
+    # reverse imports must stay lazy to avoid a cycle; see OffloadPlan/plan()
+    from repro.core.alem import ALEM, ALEMRequirement, OptimizationTarget
+    from repro.core.model_zoo import ModelZoo
 
 
 @dataclass
@@ -91,6 +96,112 @@ class TransferLearner:
                 layer.trainable = True
         model.metadata["personalized"] = True
         return model
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """The cloud-side serving plan for one task, as costed from the edge.
+
+    ``alem`` is the expected per-request capability seen by the edge: the
+    cloud device's inference latency plus the uplink/downlink transfer
+    time, with zero edge-resident memory and zero edge compute energy.
+    ``satisfied`` records whether even the cloud meets the requirement —
+    offloading is a last resort, so a best-effort plan is still returned
+    when it does not.
+    """
+
+    model_name: str
+    alem: ALEM
+    satisfied: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model_name,
+            "satisfied": self.satisfied,
+            **self.alem.as_dict(),
+        }
+
+
+class CloudOffloadPlanner:
+    """Dataflow-1 costing reused as a serving fallback.
+
+    When the adaptive control plane finds no edge model feasible any
+    more, the remaining option is the paper's first dataflow: ship the
+    request to the cloud, infer there, ship the result back.  The planner
+    prices that option per request — cloud profile latency plus the
+    round-trip link transfer — and picks the best cloud-served model for
+    the optimization target.
+    """
+
+    def __init__(
+        self,
+        cloud: CloudSimulator,
+        link: NetworkLink,
+        request_bytes: float = 1024.0,
+        result_bytes: float = 256.0,
+    ) -> None:
+        if request_bytes < 0 or result_bytes < 0:
+            raise CollaborationError("request_bytes and result_bytes must be non-negative")
+        self.cloud = cloud
+        self.link = link
+        self.request_bytes = float(request_bytes)
+        self.result_bytes = float(result_bytes)
+
+    def round_trip_seconds(self) -> float:
+        """Per-request uplink + downlink transfer time."""
+        return self.link.transfer_seconds(self.request_bytes) + self.link.transfer_seconds(
+            self.result_bytes
+        )
+
+    def plan(
+        self,
+        zoo: "ModelZoo",
+        task: Optional[str] = None,
+        requirement: Optional["ALEMRequirement"] = None,
+        target: Optional["OptimizationTarget"] = None,
+        accuracies: Optional[Mapping[str, float]] = None,
+    ) -> OffloadPlan:
+        """Choose the cloud-served model for a task and cost it per request.
+
+        ``accuracies`` carries the edge's measured accuracies over (model
+        accuracy is device independent, so the numbers transfer).
+        ``target`` defaults to latency.
+
+        Raises
+        ------
+        ModelSelectionError
+            If the zoo holds no model for the task at all.
+        """
+        from repro.core.alem import ALEM, ALEMRequirement, OptimizationTarget
+        from repro.core.capability import CapabilityEvaluator
+
+        requirement = requirement or ALEMRequirement()
+        target = target or OptimizationTarget.LATENCY
+        evaluator = CapabilityEvaluator(zoo, self.cloud.profiler)
+        for name, accuracy in (accuracies or {}).items():
+            evaluator.set_accuracy(name, accuracy)
+        candidates = evaluator.evaluate_all(self.cloud.device, task=task)
+        if not candidates:
+            raise ModelSelectionError(
+                f"no zoo model for task {task!r} is available to offload to the cloud"
+            )
+        transfer = self.round_trip_seconds()
+        plans = []
+        for candidate in candidates:
+            alem = ALEM(
+                accuracy=candidate.alem.accuracy,
+                latency_s=candidate.alem.latency_s + transfer,
+                energy_j=0.0,       # edge-side compute energy: the cloud pays it
+                memory_mb=0.0,      # nothing stays resident on the edge
+            )
+            plans.append(OffloadPlan(
+                model_name=candidate.model_name,
+                alem=alem,
+                satisfied=requirement.satisfied_by(alem),
+            ))
+        satisfied = [p for p in plans if p.satisfied]
+        pool = satisfied or plans
+        return min(pool, key=lambda p: p.alem.objective_value(target))
 
 
 class DataflowRunner:

@@ -45,14 +45,6 @@ class ModelSelector:
     def __init__(self, default_target: OptimizationTarget = OptimizationTarget.LATENCY) -> None:
         self.default_target = default_target
 
-    @staticmethod
-    def _feasible(
-        candidates: Sequence[EvaluatedCandidate], requirement: ALEMRequirement
-    ) -> List[EvaluatedCandidate]:
-        return [
-            c for c in candidates if c.fits_in_memory and requirement.satisfied_by(c.alem)
-        ]
-
     def select(
         self,
         candidates: Sequence[EvaluatedCandidate],
@@ -82,8 +74,15 @@ class ModelSelector:
             raise ModelSelectionError("no candidates were provided to the selector")
         requirement = requirement or ALEMRequirement()
         target = target or self.default_target
-        feasible = self._feasible(candidates, requirement)
-        infeasible = [c for c in candidates if c not in feasible]
+        # one pass, partitioned by identity: value-equality (`c not in feasible`)
+        # is O(n^2) and collapses distinct candidates that share an ALEM point
+        feasible: List[EvaluatedCandidate] = []
+        infeasible: List[EvaluatedCandidate] = []
+        for candidate in candidates:
+            if candidate.fits_in_memory and requirement.satisfied_by(candidate.alem):
+                feasible.append(candidate)
+            else:
+                infeasible.append(candidate)
         if not feasible:
             raise ModelSelectionError(
                 "no model satisfies the requirement "
@@ -161,12 +160,13 @@ class RLModelSelector:
 
     def step(self) -> int:
         """Play one episode; returns the arm index chosen."""
-        if self._rng.random() < self.epsilon:
+        if self._rng.random() < self.epsilon or not np.any(self._counts > 0):
+            # explore, or nothing has been played yet: pick uniformly
             arm = int(self._rng.integers(0, len(self.candidates)))
         else:
-            arm = int(np.argmax(np.where(self._counts > 0, self._values, np.inf)))
-            if not np.isfinite(self._values[arm]) and self._counts[arm] == 0:
-                arm = int(self._rng.integers(0, len(self.candidates)))
+            # greedy over *played* arms only: unplayed arms are masked with
+            # -inf so their optimistic 0.0 estimate cannot win the argmax
+            arm = int(np.argmax(np.where(self._counts > 0, self._values, -np.inf)))
         reward = self._reward(self.candidates[arm])
         self._counts[arm] += 1
         self._values[arm] += (reward - self._values[arm]) / self._counts[arm]

@@ -9,6 +9,7 @@ and a registry of scenario algorithms reachable through libei's
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +52,7 @@ class OpenEI:
         zoo: Optional[ModelZoo] = None,
         data_store: Optional[EdgeDataStore] = None,
         selection_cache=None,
+        telemetry=None,
     ) -> None:
         if device is None and device_name is None:
             raise DeploymentError("OpenEI needs a device or a device name to deploy onto")
@@ -67,6 +69,11 @@ class OpenEI:
         # A repro.serving.cache.SelectionCache (duck-typed here so core does
         # not import serving); may be shared by every instance of a fleet.
         self.selection_cache = selection_cache
+        # A repro.serving.telemetry.ALEMTelemetry (duck-typed for the same
+        # reason).  When attached, every algorithm call records its observed
+        # ALEM under this instance's device name; a fleet records at the
+        # gateway instead, so instances deployed behind one leave this None.
+        self.telemetry = telemetry
         self._algorithms: Dict[str, Dict[str, AlgorithmHandler]] = {
             scenario: {} for scenario in self.SCENARIOS
         }
@@ -92,6 +99,7 @@ class OpenEI:
             "selection_cache": (
                 self.selection_cache.describe() if self.selection_cache is not None else None
             ),
+            "telemetry": self.telemetry.describe() if self.telemetry is not None else None,
         }
 
     # -- model selection ---------------------------------------------------------
@@ -220,7 +228,15 @@ class OpenEI:
             raise ResourceNotFoundError(
                 f"no algorithm {name!r} registered for scenario {scenario!r}"
             )
-        return handlers[name](self, dict(args or {}))
+        if self.telemetry is None:
+            return handlers[name](self, dict(args or {}))
+        start = time.perf_counter()
+        result = handlers[name](self, dict(args or {}))
+        self.telemetry.record_result(
+            scenario, name, self.device.name, result,
+            wall_latency_s=time.perf_counter() - start,
+        )
+        return result
 
     def call_algorithm_batch(
         self,

@@ -16,9 +16,12 @@ from repro.data.sensors import (
 )
 from repro.data.store import EdgeDataStore
 from repro.data.workloads import (
+    SCENARIO_ALGORITHMS,
+    StreamRequest,
     activity_recognition_workload,
     appliance_power_workload,
     object_detection_workload,
+    scenario_request_stream,
     trajectory_workload,
 )
 
@@ -26,11 +29,14 @@ __all__ = [
     "CameraSensor",
     "EdgeDataStore",
     "PowerMeterSensor",
+    "SCENARIO_ALGORITHMS",
     "SensorReading",
+    "StreamRequest",
     "VehicleCameraSensor",
     "WearableIMUSensor",
     "activity_recognition_workload",
     "appliance_power_workload",
     "object_detection_workload",
+    "scenario_request_stream",
     "trajectory_workload",
 ]

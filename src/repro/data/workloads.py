@@ -7,8 +7,8 @@ re-deriving the plumbing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -109,3 +109,71 @@ def trajectory_workload(frames: int = 100, frame_size: int = 32, seed: int = 0) 
         frames=np.stack([r.payload for r in readings]),
         positions=np.array([r.annotations["position"] for r in readings]),
     )
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One libei request of a streaming workload: where it goes and its args."""
+
+    scenario: str
+    algorithm: str
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        """The request's libei URL path (args travel as a query string)."""
+        query = "&".join(f"{key}={value}" for key, value in self.args.items()
+                         if not isinstance(value, (list, dict)))
+        suffix = f"?{query}" if query else ""
+        return f"/ei_algorithms/{self.scenario}/{self.algorithm}/{suffix}"
+
+
+#: Default libei algorithm per scenario, matching :func:`repro.apps.register_all`.
+SCENARIO_ALGORITHMS: Dict[str, str] = {
+    "safety": "detection",
+    "vehicles": "tracking",
+    "home": "power_monitor",
+    "health": "activity_recognition",
+}
+
+
+def scenario_request_stream(
+    requests_per_scenario: int = 25,
+    seed: int = 0,
+    frame_size: int = 16,
+    algorithms: Optional[Mapping[str, str]] = None,
+    include_payload: bool = False,
+) -> Iterator[StreamRequest]:
+    """Interleave the four scenario workloads into one request stream.
+
+    Generates ``requests_per_scenario`` requests per scenario and yields
+    them round-robin (safety, vehicles, home, health, safety, ...) — the
+    mixed live traffic an edge gateway actually sees, ready to drive a
+    :class:`~repro.serving.fleet.FleetGateway` or a dispatcher directly.
+    Each request carries a ``seq`` argument; with ``include_payload=True``
+    the raw sensor payload rides along as a JSON-serializable nested list
+    (for handlers that run a zoo model on the request body rather than on
+    an attached sensor).
+    """
+    if requests_per_scenario <= 0:
+        raise ConfigurationError("requests_per_scenario must be positive")
+    algorithms = dict(SCENARIO_ALGORITHMS, **dict(algorithms or {}))
+    n = requests_per_scenario
+    detection = object_detection_workload(frames=n, frame_size=frame_size, seed=seed)
+    trajectory = trajectory_workload(frames=n, frame_size=frame_size, seed=seed + 1)
+    power = appliance_power_workload(samples=n, seed=seed + 2)
+    activity = activity_recognition_workload(samples=n, seed=seed + 3)
+    for i in range(n):
+        per_scenario: List[Tuple[str, Dict[str, object]]] = [
+            ("safety", {"payload": detection.frames[i]}),
+            ("vehicles", {"payload": trajectory.frames[i]}),
+            ("home", {"payload": np.array([power.power_w[i]])}),
+            ("health", {"payload": activity.windows[i]}),
+        ]
+        for scenario, extras in per_scenario:
+            args: Dict[str, object] = {"seq": i}
+            if include_payload:
+                args["payload"] = extras["payload"].tolist()
+            yield StreamRequest(
+                scenario=scenario, algorithm=algorithms[scenario], args=args
+            )

@@ -28,6 +28,19 @@ class EdgeRuntime:
         self.scheduler = PriorityScheduler(self.accountant)
         self.energy_model = EnergyModel()
         self._installed_models: Dict[str, float] = {}
+        # Multiplier on this runtime's effective inference latency relative
+        # to the analytic device profile: 1.0 is nominal, >1 emulates
+        # thermal throttling or co-tenant contention.  Scenario handlers
+        # fold it into the ALEM observations they report, which is what
+        # lets tests and benchmarks inject a device slowdown mid-stream
+        # and watch the adaptive control plane recover.
+        self.slowdown = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Set the emulated latency multiplier (must be positive)."""
+        if factor <= 0:
+            raise SchedulingError("slowdown factor must be positive")
+        self.slowdown = float(factor)
 
     # -- model installation ------------------------------------------------
     def install_model(self, model_name: str, size_mb: float) -> None:
@@ -109,6 +122,7 @@ class EdgeRuntime:
             "memory_utilization": usage.memory_utilization,
             "virtual_time_s": self.clock(),
             "load_score": self.load_score(),
+            "slowdown": self.slowdown,
         }
 
     # -- reporting --------------------------------------------------------------
@@ -132,4 +146,5 @@ class EdgeRuntime:
             "energy_joules": usage.energy_joules,
             "virtual_time_s": self.clock(),
             "pending_tasks": self.scheduler.pending_count(),
+            "slowdown": self.slowdown,
         }

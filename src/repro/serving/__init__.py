@@ -27,13 +27,28 @@ same-algorithm requests into one vectorized invocation
 (:class:`~repro.serving.batching.BatchingDispatcher`); pass
 ``batching=BatchingConfig(...)`` to :class:`LibEIServer` or
 :class:`~repro.serving.fleet.FleetGateway` to turn it on.
+
+The adaptive control plane closes the Eq. (1) loop online:
+:mod:`repro.serving.telemetry` records observed per-replica ALEM from
+live gateway calls into sliding windows, and
+:mod:`repro.serving.adaptive` re-runs the selection (and hot-swaps the
+deployed model, or offloads to the cloud) when the measurements violate
+the application's :class:`~repro.core.alem.ALEMRequirement`.
 """
 
+from repro.serving.adaptive import (
+    AdaptiveController,
+    ControllerStats,
+    ModelDeployment,
+    ReselectionEvent,
+    SLOPolicy,
+)
 from repro.serving.api import LibEIDispatcher, LibEITarget, ParsedRequest, parse_path
 from repro.serving.batching import BatchingConfig, BatchingDispatcher, BatchingStats
 from repro.serving.cache import CacheStats, SelectionCache, TTLLRUCache
 from repro.serving.client import LibEIClient
 from repro.serving.fleet import EdgeFleet, FleetGateway, FleetInstance
+from repro.serving.telemetry import ALEMTelemetry, TelemetryWindow
 from repro.serving.router import (
     ROUTING_POLICIES,
     CapabilityAwareRouter,
@@ -45,11 +60,14 @@ from repro.serving.router import (
 from repro.serving.server import LibEIServer
 
 __all__ = [
+    "ALEMTelemetry",
+    "AdaptiveController",
     "BatchingConfig",
     "BatchingDispatcher",
     "BatchingStats",
     "CacheStats",
     "CapabilityAwareRouter",
+    "ControllerStats",
     "EdgeFleet",
     "FleetGateway",
     "FleetInstance",
@@ -58,12 +76,16 @@ __all__ = [
     "LibEIDispatcher",
     "LibEIServer",
     "LibEITarget",
+    "ModelDeployment",
     "ParsedRequest",
     "ROUTING_POLICIES",
+    "ReselectionEvent",
     "RoundRobinRouter",
     "RoutingPolicy",
+    "SLOPolicy",
     "SelectionCache",
     "TTLLRUCache",
+    "TelemetryWindow",
     "make_router",
     "parse_path",
 ]

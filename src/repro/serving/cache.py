@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.core.alem import ALEMRequirement, OptimizationTarget
@@ -31,6 +31,7 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     stores: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,6 +51,7 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "stores": self.stores,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
@@ -131,6 +133,21 @@ class TTLLRUCache:
         with self._lock:
             self._entries.clear()
 
+    def remove_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *key* matches; returns how many were removed.
+
+        This is the targeted-invalidation primitive the adaptive control
+        plane uses when measured ALEM drifts away from a cached selection:
+        only the affected keys are dropped, the rest of the cache keeps
+        serving hits.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
     def describe(self) -> Dict[str, object]:
         """Status summary for ``/ei_status`` style reporting."""
         with self._lock:
@@ -185,16 +202,51 @@ class SelectionCache:
         return (device_name, task, fingerprint, requirement, target)
 
     def get(self, key: SelectionKey):
-        """Cached :class:`SelectionResult` for the key, or ``None`` on miss."""
-        return self._cache.get(key)
+        """Cached :class:`SelectionResult` for the key, or ``None`` on miss.
+
+        The result is returned as a shallow copy with fresh ``feasible``/
+        ``infeasible`` lists: callers re-rank and truncate those lists, and
+        handing out the stored object by reference would let one caller
+        corrupt every future hit for the same key.
+        """
+        result = self._cache.get(key)
+        if result is None:
+            return None
+        return replace(
+            result, feasible=list(result.feasible), infeasible=list(result.infeasible)
+        )
 
     def put(self, key: SelectionKey, result) -> None:
-        """Memoize a selection result."""
-        self._cache.put(key, result)
+        """Memoize a selection result (defensively copied, see :meth:`get`)."""
+        self._cache.put(
+            key,
+            replace(result, feasible=list(result.feasible), infeasible=list(result.infeasible)),
+        )
 
     def clear(self) -> None:
         """Invalidate everything (e.g. after re-profiling a device)."""
         self._cache.clear()
+
+    def invalidate(self, device_name: Optional[str] = None, task: Optional[str] = None) -> int:
+        """Drop cached selections for one device and/or task; returns the count.
+
+        ``None`` leaves that key field unconstrained, so
+        ``invalidate(device_name="pi")`` drops every task's selections for
+        that device.  Calling it with neither argument drops nothing —
+        use :meth:`clear` for a full flush.
+        """
+        if device_name is None and task is None:
+            return 0
+
+        def affected(key: Hashable) -> bool:
+            cached_device, cached_task = key[0], key[1]
+            if device_name is not None and cached_device != device_name:
+                return False
+            if task is not None and cached_task != task:
+                return False
+            return True
+
+        return self._cache.remove_where(affected)
 
     def __len__(self) -> int:
         return len(self._cache)

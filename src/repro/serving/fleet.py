@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
@@ -30,6 +31,7 @@ from repro.serving.batching import BatchingConfig
 from repro.serving.cache import SelectionCache
 from repro.serving.router import RoutingPolicy, make_router
 from repro.serving.server import LibEIServer
+from repro.serving.telemetry import ALEMTelemetry
 
 
 @dataclass
@@ -71,11 +73,17 @@ class EdgeFleet:
         self,
         router: Union[RoutingPolicy, str, None] = None,
         selection_cache: Optional[SelectionCache] = None,
+        telemetry: Optional[ALEMTelemetry] = None,
     ) -> None:
         if isinstance(router, str):
             router = make_router(router)
         self.router = router or make_router("round-robin")
         self.selection_cache = selection_cache
+        # when attached, every routed algorithm call records its observed
+        # ALEM per (scenario, algorithm, replica); the adaptive controller
+        # registers itself here so /ei_status reports reselections
+        self.telemetry = telemetry
+        self.adaptive = None
         self._instances: List[FleetInstance] = []
         self._ids = itertools.count()
         self._stats_lock = threading.Lock()
@@ -91,6 +99,7 @@ class EdgeFleet:
         selection_cache: Optional[SelectionCache] = None,
         cache_size: int = 1024,
         cache_ttl_s: Optional[float] = 60.0,
+        telemetry: Optional[ALEMTelemetry] = None,
     ) -> "EdgeFleet":
         """Deploy one OpenEI per named catalog device behind one fleet.
 
@@ -104,7 +113,7 @@ class EdgeFleet:
             raise ConfigurationError("a fleet needs at least one device to deploy onto")
         if selection_cache is None and cache_size > 0:
             selection_cache = SelectionCache(max_size=cache_size, ttl_s=cache_ttl_s)
-        fleet = cls(router=policy, selection_cache=selection_cache)
+        fleet = cls(router=policy, selection_cache=selection_cache, telemetry=telemetry)
         zoo = zoo if zoo is not None else ModelZoo()  # an empty ModelZoo is falsy
         for name in device_names:
             fleet.add_instance(
@@ -192,6 +201,8 @@ class EdgeFleet:
             "selection_cache": (
                 self.selection_cache.describe() if self.selection_cache is not None else None
             ),
+            "telemetry": self.telemetry.describe() if self.telemetry is not None else None,
+            "adaptive": self.adaptive.describe() if self.adaptive is not None else None,
             "instances": [instance.describe() for instance in self._instances],
         }
 
@@ -205,8 +216,14 @@ class EdgeFleet:
         )
         instance = self.route(request)
         self._count_request(instance)
+        start = time.perf_counter()
         # copy before tagging: a handler may return a shared/cached dict
         result = dict(instance.openei.call_algorithm(scenario, name, args))
+        if self.telemetry is not None:
+            self.telemetry.record_result(
+                scenario, name, instance.instance_id, result,
+                wall_latency_s=time.perf_counter() - start,
+            )
         result.setdefault("served_by", instance.instance_id)
         return result
 
@@ -226,12 +243,20 @@ class EdgeFleet:
             args=dict(args_list[0] or {}) if args_list else {},
         )
         instance = self.route(request)
+        start = time.perf_counter()
         results = instance.openei.call_algorithm_batch(scenario, name, args_list)
         # count only after success: a failed batch is retried per request by
         # the batching dispatcher, and those retries count themselves
         self._count_request(instance, count=len(args_list))
+        # amortized per-request wall clock: the batch ran as one invocation
+        per_request_s = (time.perf_counter() - start) / max(1, len(results))
         tagged = []
         for result in results:
+            if self.telemetry is not None:
+                self.telemetry.record_result(
+                    scenario, name, instance.instance_id, result,
+                    wall_latency_s=per_request_s,
+                )
             result = dict(result)
             result.setdefault("served_by", instance.instance_id)
             tagged.append(result)

@@ -53,6 +53,42 @@ def test_alem_improvement_factors():
     assert factors["accuracy"] < 1.0
 
 
+def test_alem_improvement_over_zero_valued_axes():
+    # zero-valued axes must map to +inf factors, not ZeroDivisionError
+    free = _alem(accuracy=0.5, latency=0.0, energy=0.0, memory=0.0)
+    costly = _alem(accuracy=0.5, latency=0.2, energy=1.0, memory=100.0)
+    factors = free.improvement_over(costly)
+    assert factors["latency"] == float("inf")
+    assert factors["energy"] == float("inf")
+    assert factors["memory"] == float("inf")
+    assert factors["accuracy"] == pytest.approx(1.0)
+    # a zero-accuracy baseline is also an infinite relative improvement
+    zero_accuracy = _alem(accuracy=0.0)
+    assert free.improvement_over(zero_accuracy)["accuracy"] == float("inf")
+
+
+def test_alem_improvement_over_exact_ties_are_unity():
+    point = _alem()
+    factors = point.improvement_over(_alem())
+    assert factors == {
+        "accuracy": pytest.approx(1.0),
+        "latency": pytest.approx(1.0),
+        "energy": pytest.approx(1.0),
+        "memory": pytest.approx(1.0),
+    }
+
+
+def test_alem_dominance_with_zero_axes_and_single_axis_ties():
+    free = _alem(accuracy=0.9, latency=0.0, energy=0.0, memory=0.0)
+    costly = _alem(accuracy=0.9, latency=0.1, energy=0.5, memory=50.0)
+    assert free.dominates(costly)
+    assert not costly.dominates(free)
+    # a strict win on exactly one axis with ties elsewhere still dominates
+    slightly_faster = _alem(latency=0.09)
+    assert slightly_faster.dominates(_alem())
+    assert not _alem().dominates(slightly_faster)
+
+
 # -- requirements --------------------------------------------------------------------
 
 def test_requirement_satisfaction_and_violations():
@@ -67,6 +103,31 @@ def test_requirement_satisfaction_and_violations():
 
 def test_unconstrained_requirement_accepts_anything():
     assert ALEMRequirement().satisfied_by(_alem(accuracy=0.0, latency=100.0, energy=1e6, memory=1e6))
+
+
+def test_violation_magnitudes_are_exact_excess():
+    # the adaptive controller keys its decisions off these magnitudes
+    requirement = ALEMRequirement(
+        min_accuracy=0.8, max_latency_s=0.2, max_energy_j=1.0, max_memory_mb=100.0
+    )
+    failing = _alem(accuracy=0.7, latency=0.5, energy=2.5, memory=260.0)
+    violations = requirement.violations(failing)
+    assert violations["accuracy"] == pytest.approx(0.1)
+    assert violations["latency"] == pytest.approx(0.3)
+    assert violations["energy"] == pytest.approx(1.5)
+    assert violations["memory"] == pytest.approx(160.0)
+
+
+def test_violations_exact_boundary_is_satisfied():
+    # sitting exactly on every constraint violates nothing (<=/>= semantics)
+    requirement = ALEMRequirement(
+        min_accuracy=0.9, max_latency_s=0.1, max_energy_j=0.5, max_memory_mb=50.0
+    )
+    assert requirement.satisfied_by(_alem())
+    assert requirement.violations(_alem()) == {}
+    # one axis unconstrained (None) never appears in the violation map
+    partial = ALEMRequirement(max_latency_s=0.05)
+    assert set(partial.violations(_alem())) == {"latency"}
 
 
 # -- model zoo ------------------------------------------------------------------------

@@ -110,6 +110,22 @@ def test_selector_raises_when_nothing_feasible(candidates):
         ModelSelector().select([], ALEMRequirement())
 
 
+def test_selector_partitions_duplicate_alem_candidates_by_identity(candidates):
+    # regression: the infeasible partition used dataclass value-equality
+    # (`c not in feasible`), so two distinct candidates sharing an ALEM
+    # point both vanished from `infeasible` when one was feasible
+    import dataclasses
+
+    slow = candidates[0]
+    twin_a = dataclasses.replace(slow, model_name="twin-a", fits_in_memory=False)
+    twin_b = dataclasses.replace(slow, model_name="twin-a", fits_in_memory=False)
+    assert twin_a == twin_b and twin_a is not twin_b
+    result = ModelSelector().select([slow, twin_a, twin_b], ALEMRequirement())
+    assert result.selected is slow
+    assert len(result.feasible) + len(result.infeasible) == 3
+    assert result.infeasible == [twin_a, twin_b]
+
+
 def test_selector_pareto_front_nonempty_and_contains_selected(candidates):
     selector = ModelSelector()
     front = selector.pareto_front(candidates)
@@ -127,6 +143,37 @@ def test_rl_selector_converges_to_exact_optimum(candidates):
     learned = learner.train(episodes=300)
     assert learner.regret_against(exact) <= exact.alem.objective_value(OptimizationTarget.LATENCY) * 0.5
     assert learned.model_name in {c.model_name for c in candidates}
+
+
+def test_rl_greedy_step_exploits_best_played_arm(candidates):
+    # regression: the greedy branch used np.where(counts > 0, values, +inf),
+    # so an unplayed arm (score +inf) always won the argmax and the
+    # "greedy" step was pure exploration forever
+    learner = RLModelSelector(candidates, epsilon=0.0, noise_scale=0.0, seed=7)
+    first = learner.step()          # nothing played yet: a uniform pick
+    # with epsilon=0 every later step must re-play the best *played* arm
+    for _ in range(10):
+        arm = learner.step()
+        assert learner._counts[arm] > 1
+    played = [i for i, count in enumerate(learner._counts) if count > 0]
+    assert len(played) <= 2         # first random pick + at most one greedy arm
+    assert first in played
+    best_value = max(learner._values[i] for i in played)
+    assert learner._values[arm] == pytest.approx(best_value)
+
+
+def test_rl_greedy_never_selects_unplayed_arm_over_positive_arm(candidates):
+    # an arm with observed positive value must beat unplayed arms (whose
+    # estimates are initialized to 0) under the greedy policy
+    import numpy as np
+
+    learner = RLModelSelector(candidates, epsilon=0.0, seed=1)
+    learner._counts[1] = 5
+    learner._values[1] = 12.5        # the only played arm, clearly good
+    arm = learner.step()
+    assert arm == 1
+    assert learner.best() is learner.candidates[1]
+    assert np.sum(learner._counts > 0) == 1
 
 
 def test_rl_selector_statistics_and_validation(candidates):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import (
+    SCENARIO_ALGORITHMS,
     CameraSensor,
     EdgeDataStore,
     PowerMeterSensor,
@@ -12,6 +13,7 @@ from repro.data import (
     activity_recognition_workload,
     appliance_power_workload,
     object_detection_workload,
+    scenario_request_stream,
     trajectory_workload,
 )
 from repro.exceptions import ConfigurationError, ResourceNotFoundError
@@ -146,3 +148,38 @@ def test_workloads_reject_non_positive_sizes():
         appliance_power_workload(samples=0)
     with pytest.raises(ConfigurationError):
         trajectory_workload(frames=0)
+    with pytest.raises(ConfigurationError):
+        list(scenario_request_stream(requests_per_scenario=0))
+
+
+# -- streaming traffic ---------------------------------------------------------
+
+
+def test_scenario_stream_interleaves_all_four_scenarios():
+    requests = list(scenario_request_stream(requests_per_scenario=5, seed=0))
+    assert len(requests) == 20
+    # strict round-robin interleaving, matching register_all's URL names
+    assert [r.scenario for r in requests[:4]] == ["safety", "vehicles", "home", "health"]
+    assert [r.algorithm for r in requests[:4]] == [
+        SCENARIO_ALGORITHMS[s] for s in ("safety", "vehicles", "home", "health")
+    ]
+    assert all(r.args["seq"] == i // 4 for i, r in enumerate(requests))
+
+
+def test_scenario_stream_paths_and_overrides():
+    request = next(iter(scenario_request_stream(
+        requests_per_scenario=1, algorithms={"safety": "classify"}
+    )))
+    assert request.algorithm == "classify"
+    assert request.path == "/ei_algorithms/safety/classify/?seq=0"
+
+
+def test_scenario_stream_payloads_are_json_serializable():
+    import json
+
+    requests = list(scenario_request_stream(requests_per_scenario=2, include_payload=True))
+    for request in requests:
+        assert isinstance(request.args["payload"], list)
+        json.dumps(request.args)
+        # payloads never leak into the URL path
+        assert "payload" not in request.path

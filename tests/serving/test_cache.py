@@ -129,7 +129,10 @@ def test_select_model_skips_reevaluation_on_hit(cached_openei, monkeypatch):
     first = cached_openei.select_model(task="image-classification")
     second = cached_openei.select_model(task="image-classification")
     assert calls["count"] == 1
-    assert second is first
+    # the hit is a defensive copy of the same ranking (see aliasing test below)
+    assert second is not first
+    assert second.selected is first.selected
+    assert second.feasible == first.feasible
     assert cached_openei.selection_cache.stats.hits == 1
 
 
@@ -197,6 +200,41 @@ def test_cache_is_thread_safe_under_concurrent_expiry():
     for thread in threads:
         thread.join()
     assert errors == []
+
+
+def test_cached_result_mutation_does_not_corrupt_future_hits(cached_openei):
+    # regression: cached SelectionResult lists used to be returned by
+    # reference, so one caller truncating the ranking corrupted every
+    # future hit for the same key
+    first = cached_openei.select_model(task="image-classification")
+    assert first.feasible
+    first.feasible.clear()
+    first.infeasible.append("garbage")
+    second = cached_openei.select_model(task="image-classification")
+    assert cached_openei.selection_cache.stats.hits == 1
+    assert second.feasible and "garbage" not in second.infeasible
+    assert second.selected.model_name == first.selected.model_name
+
+
+def test_selection_cache_targeted_invalidation(cached_openei):
+    from repro.core.alem import ALEMRequirement
+
+    cache = cached_openei.selection_cache
+    cached_openei.select_model(task="image-classification")
+    cached_openei.select_model(
+        task="image-classification", requirement=ALEMRequirement(max_memory_mb=1e6)
+    )
+    assert len(cache) == 2
+    # a different device's entries are untouched
+    assert cache.invalidate(device_name="jetson-tx2") == 0
+    assert cache.invalidate(device_name=None, task=None) == 0
+    assert len(cache) == 2
+    removed = cache.invalidate(device_name="raspberry-pi-4", task="image-classification")
+    assert removed == 2 and len(cache) == 0
+    assert cache.stats.invalidations == 2
+    # the next selection is a fresh miss, not a stale hit
+    cached_openei.select_model(task="image-classification")
+    assert cache.stats.misses >= 3
 
 
 def test_zoo_change_invalidates_cached_selection(cached_openei, trained_mlp):
