@@ -1,0 +1,42 @@
+"""Shared micro-batch plumbing for the scenario apps' batch handlers.
+
+Every app batch handler follows the same contract (see
+``docs/API.md``, "App `batch_handler` contract"): gather one reading per
+request, answer the whole micro-batch with one stacked call when the
+inputs are shape-homogeneous, and report each request's *amortized*
+share of the batch wall clock as its observed ALEM latency.  The two
+subtle pieces of that contract live here so the four apps cannot drift
+apart.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def amortized_batch_latency(start: float, ei, count: int) -> float:
+    """Per-request share of a batch's wall clock, scaled by the emulated slowdown.
+
+    ``start`` is the ``time.perf_counter()`` stamp taken when the batch
+    handler began; the share is what each coalesced request actually
+    paid, which is what the adaptive control plane should observe.
+    """
+    return (time.perf_counter() - start) * ei.runtime.slowdown / max(1, count)
+
+
+def stack_if_homogeneous(payloads: Sequence[np.ndarray]) -> Optional[np.ndarray]:
+    """``np.stack(payloads)`` when they share one shape, else ``None``.
+
+    Batch handlers consume their sensor readings exactly once *before*
+    stacking; a mixed-shape micro-batch (requests naming
+    differently-sized sensors) must take the caller's per-reading path
+    rather than raise — an exception here would make the dispatcher's
+    error-isolation retry re-consume fresh readings, diverging from the
+    unbatched path.
+    """
+    if len({payload.shape for payload in payloads}) == 1:
+        return np.stack(payloads)
+    return None

@@ -9,10 +9,11 @@ direction the paper describes — keeping the health data on the edge.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.apps._batching import amortized_batch_latency, stack_if_homogeneous
 from repro.core.openei import OpenEI
 from repro.data.sensors import WearableIMUSensor
 from repro.data.workloads import activity_recognition_workload
@@ -56,19 +57,33 @@ class ActivityRecognizer:
 
     def recognize(self, window: np.ndarray) -> Dict[str, object]:
         """Classify one IMU window; returns the activity name and probabilities."""
-        if not self._trained:
-            raise ConfigurationError("train must be called before recognize")
         if window.ndim == 2:
             window = window[None, :, :]
-        probs = self.classifier.predict_proba(window)[0]
-        activity = int(np.argmax(probs))
-        return {
-            "activity": activity,
-            "activity_name": self.activity_names[activity],
-            "probabilities": {
-                name: float(p) for name, p in zip(self.activity_names, probs)
-            },
-        }
+        return self.recognize_batch(window)[0]
+
+    def recognize_batch(self, windows: np.ndarray) -> List[Dict[str, object]]:
+        """Classify a stack of IMU windows with one fused engine forward.
+
+        ``windows`` is ``(n, steps, channels)``; the whole stack runs as a
+        single :meth:`~repro.nn.model.Sequential.predict_batch` call, so a
+        micro-batch of requests pays for one forward pass, not ``n``.
+        """
+        if not self._trained:
+            raise ConfigurationError("train must be called before recognize")
+        probs = self.classifier.model.predict_batch(windows)
+        results: List[Dict[str, object]] = []
+        for row in probs:
+            activity = int(np.argmax(row))
+            results.append(
+                {
+                    "activity": activity,
+                    "activity_name": self.activity_names[activity],
+                    "probabilities": {
+                        name: float(p) for name, p in zip(self.activity_names, row)
+                    },
+                }
+            )
+        return results
 
     def score(self, windows: np.ndarray, labels: np.ndarray) -> float:
         """Accuracy on labelled windows."""
@@ -87,10 +102,7 @@ def register_connected_health(
     sensor = WearableIMUSensor(sensor_id=sensor_id, seed=seed)
     openei.data_store.register_sensor(sensor)
 
-    def activity_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
-        start = time.perf_counter()
-        reading = ei.data_store.realtime(str(args.get("sensor", sensor_id)))
-        result = recognizer.recognize(reading.payload)
+    def _finalize(result: Dict[str, object], reading, latency_s: float) -> Dict[str, object]:
         truth = reading.annotations["activity_name"]
         result.update(
             {
@@ -101,12 +113,41 @@ def register_connected_health(
                 # plane: wall clock scaled by the runtime's emulated
                 # slowdown; accuracy is per-window correctness
                 "observed_alem": {
-                    "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
+                    "latency_s": latency_s,
                     "accuracy": 1.0 if result["activity_name"] == truth else 0.0,
                 },
             }
         )
         return result
 
-    openei.register_algorithm("health", "activity_recognition", activity_handler)
+    def activity_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
+        reading = ei.data_store.realtime(str(args.get("sensor", sensor_id)))
+        result = recognizer.recognize(reading.payload)
+        latency = (time.perf_counter() - start) * ei.runtime.slowdown
+        return _finalize(result, reading, latency)
+
+    def activity_batch_handler(
+        ei: OpenEI, calls: List[Dict[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Stack the micro-batch's IMU windows into one fused engine forward."""
+        start = time.perf_counter()
+        readings = [
+            ei.data_store.realtime(str(args.get("sensor", sensor_id))) for args in calls
+        ]
+        windows = stack_if_homogeneous([reading.payload for reading in readings])
+        if windows is not None:
+            results = recognizer.recognize_batch(windows)
+        else:
+            results = [recognizer.recognize(reading.payload) for reading in readings]
+        latency = amortized_batch_latency(start, ei, len(calls))
+        return [
+            _finalize(result, reading, latency)
+            for result, reading in zip(results, readings)
+        ]
+
+    openei.register_algorithm(
+        "health", "activity_recognition", activity_handler,
+        batch_handler=activity_batch_handler,
+    )
     return recognizer

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.apps._batching import amortized_batch_latency, stack_if_homogeneous
 from repro.core.openei import OpenEI
 from repro.data.sensors import CameraSensor
 from repro.exceptions import ConfigurationError
@@ -123,10 +124,7 @@ def register_public_safety(openei: OpenEI, camera_id: str = "camera1", seed: int
     camera = CameraSensor(sensor_id=camera_id, seed=seed)
     openei.data_store.register_sensor(camera)
 
-    def detection_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
-        start = time.perf_counter()
-        reading = ei.data_store.realtime(str(args.get("video", camera_id)))
-        detections = detector.detect(reading.payload)
+    def _detection_result(reading, detections, latency_s: float) -> Dict[str, object]:
         return {
             "sensor_id": reading.sensor_id,
             "timestamp": reading.timestamp,
@@ -134,26 +132,58 @@ def register_public_safety(openei: OpenEI, camera_id: str = "camera1", seed: int
             "ground_truth_boxes": reading.annotations.get("boxes", []),
             # per-request latency observation for the adaptive control
             # plane (wall clock scaled by the emulated device slowdown)
-            "observed_alem": {
-                "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
-            },
+            "observed_alem": {"latency_s": latency_s},
         }
 
-    def firearm_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
-        start = time.perf_counter()
-        reading = ei.data_store.realtime(str(args.get("video", camera_id)))
-        detections = detector.detect(reading.payload)
+    def _firearm_result(reading, detections, latency_s: float) -> Dict[str, object]:
         flagged = flag_suspicious(detections)
         return {
             "sensor_id": reading.sensor_id,
             "timestamp": reading.timestamp,
             "alerts": [{"box": list(d.box), "score": d.score} for d in flagged],
             "alert": bool(flagged),
-            "observed_alem": {
-                "latency_s": (time.perf_counter() - start) * ei.runtime.slowdown,
-            },
+            "observed_alem": {"latency_s": latency_s},
         }
 
-    openei.register_algorithm("safety", "detection", detection_handler)
-    openei.register_algorithm("safety", "firearm_detection", firearm_handler)
+    def detection_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
+        reading = ei.data_store.realtime(str(args.get("video", camera_id)))
+        detections = detector.detect(reading.payload)
+        latency = (time.perf_counter() - start) * ei.runtime.slowdown
+        return _detection_result(reading, detections, latency)
+
+    def firearm_handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+        start = time.perf_counter()
+        reading = ei.data_store.realtime(str(args.get("video", camera_id)))
+        detections = detector.detect(reading.payload)
+        latency = (time.perf_counter() - start) * ei.runtime.slowdown
+        return _firearm_result(reading, detections, latency)
+
+    def _batched(build_result):
+        """A batch handler that stacks the micro-batch's frames into one detector call."""
+
+        def batch_handler(ei: OpenEI, calls: List[Dict[str, object]]) -> List[Dict[str, object]]:
+            start = time.perf_counter()
+            readings = [
+                ei.data_store.realtime(str(args.get("video", camera_id))) for args in calls
+            ]
+            frames = stack_if_homogeneous([reading.payload for reading in readings])
+            if frames is not None:
+                per_frame = detector.detect_batch(frames)
+            else:
+                per_frame = [detector.detect(reading.payload) for reading in readings]
+            latency = amortized_batch_latency(start, ei, len(calls))
+            return [
+                build_result(reading, detections, latency)
+                for reading, detections in zip(readings, per_frame)
+            ]
+
+        return batch_handler
+
+    openei.register_algorithm(
+        "safety", "detection", detection_handler, batch_handler=_batched(_detection_result)
+    )
+    openei.register_algorithm(
+        "safety", "firearm_detection", firearm_handler, batch_handler=_batched(_firearm_result)
+    )
     return detector

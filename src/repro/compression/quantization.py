@@ -11,7 +11,7 @@ inference path still runs; the achieved storage cost is recorded in
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Tuple
 
 import numpy as np
 
@@ -24,6 +24,22 @@ def _quantizable_keys(layer) -> Iterable[str]:
         base = key.rsplit("/", 1)[-1]
         if base not in ("b", "beta", "gamma") and not base.startswith("b_"):
             yield key
+
+
+def _nearest_centroid(flat: np.ndarray, centroids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment in O(N log K) time and O(N) memory.
+
+    Sorting the centroids turns 1-D nearest-neighbour search into a
+    ``searchsorted`` against the midpoints between consecutive centroids
+    — the same result as the ``argmin(|flat[:, None] - centroids|)``
+    distance matrix without materializing the O(N * K) intermediate.
+    Returns ``(sorted_centroids, assignment)`` with assignments indexing
+    the sorted order.
+    """
+    order = np.argsort(centroids, kind="stable")
+    sorted_centroids = centroids[order]
+    midpoints = 0.5 * (sorted_centroids[1:] + sorted_centroids[:-1])
+    return sorted_centroids, np.searchsorted(midpoints, flat)
 
 
 def binarize_model(model: Sequential, in_place: bool = False) -> Sequential:
@@ -68,15 +84,18 @@ def kmeans_quantize_model(
             if flat.size <= clusters:
                 continue
             # 1-D k-means via quantile initialization + Lloyd iterations.
+            # Assignment uses sorted centroids + searchsorted midpoints —
+            # the same nearest centroid as an |flat[:, None] - centroids|
+            # distance matrix, in bounded memory (no O(N * K) intermediate).
             centroids = np.quantile(flat, np.linspace(0.0, 1.0, clusters))
             centroids = centroids + rng.normal(0, 1e-9, size=clusters)
             for _ in range(iterations):
-                assignment = np.argmin(np.abs(flat[:, None] - centroids[None, :]), axis=1)
-                for cluster in range(clusters):
-                    members = flat[assignment == cluster]
-                    if members.size:
-                        centroids[cluster] = members.mean()
-            assignment = np.argmin(np.abs(flat[:, None] - centroids[None, :]), axis=1)
+                centroids, assignment = _nearest_centroid(flat, centroids)
+                sums = np.bincount(assignment, weights=flat, minlength=clusters)
+                counts = np.bincount(assignment, minlength=clusters)
+                occupied = counts > 0
+                centroids[occupied] = sums[occupied] / counts[occupied]
+            centroids, assignment = _nearest_centroid(flat, centroids)
             weights[...] = centroids[assignment].reshape(weights.shape)
     bits = float(np.ceil(np.log2(clusters)))
     quantized.metadata["bytes_per_param"] = bits / 8.0

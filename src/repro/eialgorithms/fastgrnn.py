@@ -67,7 +67,9 @@ class FastGRNNLayer(ParametricLayer):
         self._require_ndim(inputs, 3, "FastGRNNLayer")
         batch, steps, _ = inputs.shape
         hidden = np.zeros((batch, self.hidden_size))
-        caches = []
+        # gate caches exist only for backprop; inference must not hold
+        # O(steps) per-timestep arrays it never reads
+        caches = [] if training else None
         zeta = self._params["zeta"][0]
         nu = self._params["nu"][0]
         for t in range(steps):
@@ -76,7 +78,8 @@ class FastGRNNLayer(ParametricLayer):
             z = self._sigmoid(pre + self._params["b_z"])
             h_tilde = np.tanh(pre + self._params["b_h"])
             new_hidden = (zeta * (1.0 - z) + nu) * h_tilde + z * hidden
-            caches.append((x_t, hidden, z, h_tilde))
+            if caches is not None:
+                caches.append((x_t, hidden, z, h_tilde))
             hidden = new_hidden
         if training:
             self._cache = (inputs.shape, caches)

@@ -8,8 +8,11 @@ Accuracy is task-specific and is attached by
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.hardware.device import DeviceSpec
@@ -84,13 +87,33 @@ class ALEMProfiler:
         device: DeviceSpec,
         batch_size: int = 1,
         bytes_per_param: float = 4.0,
+        measure: bool = False,
     ) -> ProfileResult:
-        """Profile one (model, device) point under this package configuration."""
+        """Profile one (model, device) point under this package configuration.
+
+        With ``measure=False`` (the default) latency comes from the
+        analytical roofline model, keeping selection deterministic and
+        board-independent.  With ``measure=True`` the latency entry is
+        instead *measured* through the compiled inference engine — the
+        exact fused, workspace-reusing path the serving layer executes —
+        so the ALEM profile reflects what requests actually pay on this
+        host (plus the package's dispatch overhead).  The energy entry
+        always derives from the *analytical* latency: host wall clock
+        times the target device's power draw would describe neither
+        machine, so only the latency axis is host-relative in a
+        measured profile.
+        """
         cost = model_cost(model, input_shape, bytes_per_param=bytes_per_param)
-        latency = self.latency_model.inference_seconds(
+        analytical_latency = self.latency_model.inference_seconds(
             cost, device, package_efficiency=self.package_efficiency, batch_size=batch_size
         )
-        energy = self.energy_model.inference_joules(latency, device)
+        if measure:
+            latency = self.latency_model.dispatch_overhead_s + self.measure_latency(
+                model, input_shape, batch_size=batch_size
+            )
+        else:
+            latency = analytical_latency
+        energy = self.energy_model.inference_joules(analytical_latency, device)
         memory = self.memory_model.footprint_mb(cost, batch_size=batch_size)
         return ProfileResult(
             model_name=model.name,
@@ -102,6 +125,36 @@ class ALEMProfiler:
             fits_in_memory=self.memory_model.fits(cost, device, batch_size=batch_size),
             cost=cost,
         )
+
+    @staticmethod
+    def measure_latency(
+        model: Sequential,
+        input_shape: Tuple[int, ...],
+        batch_size: int = 1,
+        repeats: int = 3,
+        warmup: int = 1,
+    ) -> float:
+        """Wall-clock seconds per forward pass through the compiled engine.
+
+        Runs the model's cached :class:`~repro.nn.engine.InferencePlan`
+        (compiling it on first use) over a deterministic input batch and
+        returns the best of ``repeats`` timings, so ALEM profiles and the
+        adaptive control plane observe the same fused code path the
+        serving layer dispatches to.
+        """
+        if batch_size <= 0 or repeats <= 0:
+            raise ConfigurationError("batch_size and repeats must be positive")
+        rng = np.random.default_rng(0)
+        inputs = rng.standard_normal((batch_size, *input_shape))
+        plan = model.compile_plan()
+        for _ in range(max(0, warmup)):
+            plan.execute(inputs)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            plan.execute(inputs)
+            best = min(best, time.perf_counter() - start)
+        return best
 
     def profile_training(
         self,

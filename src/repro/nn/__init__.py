@@ -14,6 +14,7 @@ tuple without measuring wall-clock time on real boards.
 """
 
 from repro.nn import datasets, flops, initializers, losses, metrics, optimizers, serialization
+from repro.nn.engine import InferencePlan, WorkspaceArena
 from repro.nn.layers import (
     AvgPool2D,
     BatchNorm,
@@ -51,6 +52,7 @@ __all__ = [
     "GRUCellLayer",
     "GlobalAvgPool2D",
     "HingeLoss",
+    "InferencePlan",
     "LSTMClassifier",
     "LSTMLayer",
     "LeakyReLU",
@@ -67,6 +69,7 @@ __all__ = [
     "SimpleRNN",
     "Softmax",
     "Tanh",
+    "WorkspaceArena",
     "datasets",
     "flops",
     "initializers",

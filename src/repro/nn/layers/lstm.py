@@ -57,7 +57,9 @@ class LSTMLayer(ParametricLayer):
         batch, steps, _ = inputs.shape
         hidden = np.zeros((batch, self.hidden_size))
         cell = np.zeros((batch, self.hidden_size))
-        caches = []
+        # gate caches exist only for backprop; inference must not hold
+        # O(steps) per-timestep arrays it never reads
+        caches = [] if training else None
         for t in range(steps):
             x_t = inputs[:, t, :]
             i = self._sigmoid(x_t @ self._params["Wx_i"] + hidden @ self._params["Wh_i"] + self._params["b_i"])
@@ -67,7 +69,8 @@ class LSTMLayer(ParametricLayer):
             new_cell = f * cell + i * g
             tanh_cell = np.tanh(new_cell)
             new_hidden = o * tanh_cell
-            caches.append((x_t, hidden, cell, i, f, o, g, new_cell, tanh_cell))
+            if caches is not None:
+                caches.append((x_t, hidden, cell, i, f, o, g, new_cell, tanh_cell))
             hidden, cell = new_hidden, new_cell
         if training:
             self._cache = (inputs.shape, caches)

@@ -46,14 +46,17 @@ class SimpleRNN(ParametricLayer):
         self._require_ndim(inputs, 3, "SimpleRNN")
         batch, steps, _ = inputs.shape
         hidden = np.zeros((batch, self.hidden_size))
-        states = [hidden]
+        # the per-timestep state list exists only for backprop; inference
+        # must not hold O(steps) hidden-state arrays it never reads
+        states = [hidden] if training else None
         for t in range(steps):
             hidden = np.tanh(
                 inputs[:, t, :] @ self._params["Wx"]
                 + hidden @ self._params["Wh"]
                 + self._params["b"]
             )
-            states.append(hidden)
+            if states is not None:
+                states.append(hidden)
         if training:
             self._cache = (inputs, states)
         return hidden
@@ -129,7 +132,9 @@ class GRUCellLayer(ParametricLayer):
         self._require_ndim(inputs, 3, "GRUCellLayer")
         batch, steps, _ = inputs.shape
         hidden = np.zeros((batch, self.hidden_size))
-        caches = []
+        # gate caches exist only for backprop; inference must not hold
+        # O(steps) per-timestep arrays it never reads
+        caches = [] if training else None
         for t in range(steps):
             x_t = inputs[:, t, :]
             z = self._sigmoid(
@@ -144,7 +149,8 @@ class GRUCellLayer(ParametricLayer):
                 + self._params["b_h"]
             )
             new_hidden = (1.0 - z) * hidden + z * h_tilde
-            caches.append((x_t, hidden, z, r, h_tilde))
+            if caches is not None:
+                caches.append((x_t, hidden, z, r, h_tilde))
             hidden = new_hidden
         if training:
             self._cache = (inputs.shape, caches)

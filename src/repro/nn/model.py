@@ -41,11 +41,13 @@ class Sequential:
         self.layers: List[Layer] = list(layers) if layers else []
         self.name = name
         self.metadata: Dict[str, object] = {}
+        self._plan = None
 
     # -- construction ---------------------------------------------------
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer and return self for chaining."""
         self.layers.append(layer)
+        self.invalidate_plan()
         return self
 
     def __iter__(self) -> Iterator[Layer]:
@@ -62,8 +64,44 @@ class Sequential:
         return out
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
-        """Run inference (no training-mode side effects)."""
-        return self.forward(inputs, training=False)
+        """Run inference through the compiled engine (no training-mode side effects).
+
+        The first call compiles the model into an
+        :class:`~repro.nn.engine.InferencePlan` (fused steps + reusable
+        workspace buffers); subsequent calls reuse it.  The plan is
+        transparently recompiled whenever the model's structure changes —
+        layers added or swapped, parameter arrays replaced (e.g. by a
+        compression pass calling ``set_param``).  Output matches the
+        naive layer-by-layer :meth:`forward` to floating-point rounding.
+        """
+        return self.compile_plan().execute(inputs)
+
+    def predict_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """One fused forward pass over a whole (micro-)batch of inputs.
+
+        Semantically identical to :meth:`predict`; the separate name is
+        the contract the serving layer's batch handlers rely on — stack
+        the micro-batch into a single array, make one engine call.
+        """
+        return self.compile_plan().predict_batch(inputs)
+
+    def compile_plan(self, force: bool = False):
+        """The cached :class:`~repro.nn.engine.InferencePlan` for this model.
+
+        Compiles on first use and whenever the cached plan no longer
+        matches the model's structural fingerprint; pass ``force=True``
+        to discard the cached plan (and its workspace) unconditionally.
+        """
+        from repro.nn.engine import InferencePlan
+
+        plan = self._plan
+        if force or plan is None or not plan.matches(self):
+            plan = self._plan = InferencePlan(self)
+        return plan
+
+    def invalidate_plan(self) -> None:
+        """Drop the cached inference plan (recompiled on next predict)."""
+        self._plan = None
 
     def predict_classes(self, inputs: np.ndarray) -> np.ndarray:
         """Return argmax class indices for classifier outputs."""
@@ -202,6 +240,13 @@ class Sequential:
         import copy
 
         return copy.deepcopy(self)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # the compiled plan holds workspace buffers and a lock; it is a
+        # cache keyed to *these* layer objects, so copies must recompile
+        state = self.__dict__.copy()
+        state["_plan"] = None
+        return state
 
     def summary(self) -> str:
         """Human-readable architecture summary."""

@@ -104,6 +104,41 @@ def test_power_monitor_single_measurements():
     assert monitor.estimated_energy_kwh(np.array([1000.0]), period_s=3600.0) == pytest.approx(1.0)
 
 
+def test_power_monitor_table_matches_brute_force_enumeration():
+    """The precomputed 2^A sum table must reproduce the subset scan, ties included."""
+    from itertools import combinations
+
+    monitor = PowerMonitor()
+
+    def brute_force(total_watts):
+        residual = total_watts - monitor.base_load_w
+        best_combo = ()
+        best_error = abs(residual)
+        indices = range(len(monitor.appliance_names))
+        for size in range(1, len(monitor.appliance_names) + 1):
+            for combo in combinations(indices, size):
+                error = abs(residual - monitor.appliance_watts[list(combo)].sum())
+                if error < best_error:
+                    best_error = error
+                    best_combo = combo
+        states = [False] * len(monitor.appliance_names)
+        for index in best_combo:
+            states[index] = True
+        return tuple(states)
+
+    rng = np.random.default_rng(2)
+    sweep = np.concatenate([
+        rng.uniform(0.0, 4500.0, 200),
+        # exact ties: heater+washer == oven (2000 W), and midpoints between sums
+        np.array([80.0, 2080.0, 80.0 + 310.0, 80.0 + (120.0 + 500.0) / 2, 0.0, 9999.0]),
+    ])
+    for watts in sweep:
+        assert monitor.infer_states(float(watts)) == brute_force(float(watts))
+    batch = monitor.infer_batch(sweep)
+    singles = np.array([monitor.infer_states(float(w)) for w in sweep], dtype=bool)
+    assert (batch == singles).all()
+
+
 def test_power_monitor_validation():
     with pytest.raises(ConfigurationError):
         PowerMonitor(appliance_names=("a",), appliance_watts=(1.0, 2.0))

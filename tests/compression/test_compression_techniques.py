@@ -92,6 +92,54 @@ def test_kmeans_rejects_bad_arguments(model):
         kmeans_quantize_model(model, iterations=0)
 
 
+def test_kmeans_searchsorted_assignment_matches_distance_matrix():
+    """The O(N log K) sorted-midpoint assignment equals the O(N*K) argmin."""
+    from repro.compression.quantization import _nearest_centroid
+
+    rng = np.random.default_rng(11)
+    for _ in range(5):
+        flat = rng.standard_normal(1500)
+        centroids = rng.standard_normal(16)
+        sorted_centroids, assignment = _nearest_centroid(flat, centroids)
+        brute = np.argmin(np.abs(flat[:, None] - sorted_centroids[None, :]), axis=1)
+        # compare assigned *values*: equidistant ties may pick either
+        # neighbour, but the quantized weight is identical either way
+        np.testing.assert_allclose(
+            sorted_centroids[assignment], sorted_centroids[brute], atol=0.0
+        )
+
+
+def test_kmeans_quantization_unchanged_by_vectorized_lloyd(model):
+    """End-to-end result parity with a naive Lloyd reference implementation."""
+    quantized = kmeans_quantize_model(model, clusters=8, iterations=6, seed=3)
+    reference = model.clone_architecture()
+    rng = np.random.default_rng(3)
+    for layer in reference.layers:
+        for key in layer.params:
+            base = key.rsplit("/", 1)[-1]
+            if base in ("b", "beta", "gamma") or base.startswith("b_"):
+                continue
+            weights = layer.params[key]
+            flat = weights.ravel()
+            if flat.size <= 8:
+                continue
+            centroids = np.quantile(flat, np.linspace(0.0, 1.0, 8))
+            centroids = centroids + rng.normal(0, 1e-9, size=8)
+            for _ in range(6):
+                assignment = np.argmin(np.abs(flat[:, None] - centroids[None, :]), axis=1)
+                for cluster in range(8):
+                    members = flat[assignment == cluster]
+                    if members.size:
+                        centroids[cluster] = members.mean()
+            assignment = np.argmin(np.abs(flat[:, None] - centroids[None, :]), axis=1)
+            weights[...] = centroids[assignment].reshape(weights.shape)
+    for quantized_layer, reference_layer in zip(quantized.layers, reference.layers):
+        for key in quantized_layer.params:
+            np.testing.assert_allclose(
+                quantized_layer.params[key], reference_layer.params[key], atol=1e-12
+            )
+
+
 def test_int8_quantization_bounded_error(model):
     quantized = quantize_int8_model(model)
     original = model.layers[0].params["W"]

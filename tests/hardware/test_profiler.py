@@ -94,3 +94,29 @@ def test_make_profiler_unknown_package_raises():
 def test_profiler_rejects_bad_efficiency():
     with pytest.raises(ConfigurationError):
         ALEMProfiler(package_efficiency=0.0)
+
+
+def test_measured_profile_runs_through_the_engine(models):
+    """measure=True times the compiled inference plan, not the roofline model."""
+    profiler = ALEMProfiler()
+    device = get_device("raspberry-pi-4")
+    model = models["mobilenet"]
+    measured = profiler.profile(model, (16, 16, 1), device, measure=True)
+    analytical = profiler.profile(model, (16, 16, 1), device)
+    assert measured.latency_s > profiler.latency_model.dispatch_overhead_s
+    assert measured.latency_s != analytical.latency_s
+    # the measurement leaves the model's compiled plan behind for serving
+    plan = model.compile_plan()
+    assert plan.calls > 0
+    # non-latency ALEM axes still come from the analytical models: host
+    # wall clock x target-device power would describe neither machine
+    assert measured.energy_j == analytical.energy_j
+    assert measured.memory_mb == analytical.memory_mb
+    assert measured.cost == analytical.cost
+
+
+def test_measure_latency_validation(models):
+    with pytest.raises(ConfigurationError):
+        ALEMProfiler.measure_latency(models["mobilenet"], (16, 16, 1), batch_size=0)
+    with pytest.raises(ConfigurationError):
+        ALEMProfiler.measure_latency(models["mobilenet"], (16, 16, 1), repeats=0)

@@ -1,0 +1,409 @@
+"""Parity and invalidation tests for the compiled inference engine.
+
+Every layer type must produce exactly the same inference output through
+an :class:`~repro.nn.engine.InferencePlan` as through the naive
+layer-by-layer ``Sequential.forward`` — including after every compression
+pass — and the plan cached by ``Sequential.predict`` must recompile
+whenever the model's structure changes underneath it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    binarize_model,
+    kmeans_quantize_model,
+    magnitude_prune_model,
+    quantize_int8_model,
+)
+from repro.eialgorithms import build_lenet, build_mobilenet, build_squeezenet
+from repro.eialgorithms.fastgrnn import FastGRNNLayer
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.engine import InferencePlan, WorkspaceArena, model_fingerprint
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    GRUCellLayer,
+    LSTMLayer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    SeparableConv2D,
+    Sigmoid,
+    SimpleRNN,
+    Softmax,
+    Tanh,
+)
+from repro.nn.layers.base import Layer
+from repro.nn.model import Sequential
+
+RNG = np.random.default_rng(7)
+
+
+def assert_parity(model: Sequential, inputs: np.ndarray) -> None:
+    reference = model.forward(inputs, training=False)
+    plan = model.compile_plan(force=True)
+    for _ in range(2):  # second call exercises workspace reuse
+        produced = plan.execute(inputs)
+        np.testing.assert_allclose(produced, reference, atol=1e-6)
+
+
+# -- per-layer parity ---------------------------------------------------------
+
+VECTOR_MODELS = {
+    "dense-relu": [Dense(12, 8, seed=0), ReLU()],
+    "dense-leaky": [Dense(12, 8, seed=0), LeakyReLU(alpha=0.1)],
+    "dense-sigmoid": [Dense(12, 8, seed=0), Sigmoid()],
+    "dense-tanh": [Dense(12, 8, seed=0), Tanh()],
+    "dense-softmax": [Dense(12, 8, seed=0), Softmax()],
+    "dense-nobias": [Dense(12, 8, use_bias=False, seed=0)],
+    "dense-bn": [Dense(12, 8, seed=0), BatchNorm(8), ReLU()],
+    "dense-dropout": [Dense(12, 8, seed=0), Dropout(0.5, seed=1), ReLU()],
+    "double-activation": [Dense(12, 8, seed=0), ReLU(), Tanh()],
+}
+
+
+@pytest.mark.parametrize("name", sorted(VECTOR_MODELS))
+def test_vector_layer_parity(name):
+    model = Sequential(VECTOR_MODELS[name], name=name)
+    assert_parity(model, RNG.standard_normal((5, 12)))
+
+
+IMAGE_MODELS = {
+    "conv-same": [Conv2D(2, 4, kernel_size=3, padding="same", seed=0), ReLU()],
+    "conv-valid": [Conv2D(2, 4, kernel_size=3, padding="valid", seed=0)],
+    "conv-stride": [Conv2D(2, 4, kernel_size=3, stride=2, seed=0)],
+    "conv-nobias": [Conv2D(2, 4, kernel_size=1, use_bias=False, seed=0)],
+    "depthwise": [DepthwiseConv2D(2, kernel_size=3, seed=0), Tanh()],
+    "separable": [SeparableConv2D(2, 5, kernel_size=3, seed=0), ReLU()],
+    "conv-bn-relu": [Conv2D(2, 4, seed=0), BatchNorm(4), ReLU()],
+    "maxpool": [MaxPool2D(2)],
+    "avgpool": [AvgPool2D(2)],
+    "gap": [Conv2D(2, 4, seed=0), GlobalAvgPool2D()],
+    "flatten-head": [Conv2D(2, 4, seed=0), Flatten(), Dense(4 * 8 * 8, 3, seed=1), Softmax()],
+}
+
+
+@pytest.mark.parametrize("name", sorted(IMAGE_MODELS))
+def test_image_layer_parity(name):
+    model = Sequential(IMAGE_MODELS[name], name=name)
+    assert_parity(model, RNG.standard_normal((3, 8, 8, 2)))
+
+
+RECURRENT_MODELS = {
+    "simplernn": [SimpleRNN(6, 10, seed=0), Dense(10, 4, seed=1), Softmax()],
+    "gru": [GRUCellLayer(6, 10, seed=0), Dense(10, 4, seed=1), Softmax()],
+    "lstm": [LSTMLayer(6, 10, seed=0), Dense(10, 4, seed=1), Softmax()],
+    "fastgrnn": [FastGRNNLayer(6, 10, seed=0), Dense(10, 4, seed=1), Softmax()],
+}
+
+
+@pytest.mark.parametrize("name", sorted(RECURRENT_MODELS))
+def test_recurrent_layer_parity(name):
+    model = Sequential(RECURRENT_MODELS[name], name=name)
+    assert_parity(model, RNG.standard_normal((4, 12, 6)))
+
+
+def test_trained_batchnorm_running_stats_parity():
+    """BatchNorm inference must use the trained running statistics."""
+    model = Sequential([Dense(6, 8, seed=0), BatchNorm(8), ReLU(), Dense(8, 3, seed=1), Softmax()])
+    x = RNG.standard_normal((64, 6))
+    y = RNG.integers(0, 3, 64)
+    model.fit(x, y, epochs=2, batch_size=16)
+    assert_parity(model, RNG.standard_normal((9, 6)))
+
+
+def test_unknown_layer_falls_back_to_naive_forward():
+    class Doubler(Layer):
+        def forward(self, inputs, training=False):
+            return inputs * 2.0
+
+    model = Sequential([Dense(6, 5, seed=0), Doubler(), ReLU()])
+    assert_parity(model, RNG.standard_normal((4, 6)))
+
+
+def test_fallback_view_of_input_is_never_mutated_in_place():
+    """A fallback layer returning a view of the caller's input must not let
+    a downstream in-place step (fused ReLU here) corrupt that input."""
+
+    class LastStep(Layer):
+        def forward(self, inputs, training=False):
+            return inputs[:, -1, :]
+
+    model = Sequential([LastStep(), Dense(6, 4, seed=0), ReLU()])
+    x = RNG.standard_normal((3, 5, 6))
+    original = x.copy()
+    assert_parity(model, x)
+    np.testing.assert_array_equal(x, original)
+    # even with the in-place step directly after the view-returning layer
+    bare = Sequential([LastStep(), ReLU()])
+    assert_parity(bare, x)
+    np.testing.assert_array_equal(x, original)
+
+
+def test_concurrent_execution_is_safe_and_correct():
+    """Threads share one plan: per-thread workspaces, no cross-talk."""
+    import threading
+
+    model = Sequential([Conv2D(1, 4, seed=0), ReLU(), Flatten(),
+                        Dense(4 * 64, 3, seed=1), Softmax()])
+    inputs = [RNG.standard_normal((2, 8, 8, 1)) for _ in range(4)]
+    expected = [model.forward(x, training=False) for x in inputs]
+    plan = model.compile_plan(force=True)
+    failures = []
+
+    def worker(index):
+        for _ in range(25):
+            out = plan.execute(inputs[index])
+            if not np.allclose(out, expected[index], atol=1e-6):
+                failures.append(index)
+                return
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+
+
+def test_scenario_model_parity():
+    for builder in (build_mobilenet, build_squeezenet, build_lenet):
+        model = builder((16, 16, 1), 3, seed=0) if builder is not build_mobilenet else builder(
+            (16, 16, 1), 3, 0.5, seed=0
+        )
+        assert_parity(model, RNG.standard_normal((2, 16, 16, 1)))
+
+
+# -- compressed-model parity --------------------------------------------------
+
+@pytest.fixture(scope="module")
+def compressible_model():
+    model = Sequential(
+        [
+            Conv2D(1, 4, kernel_size=3, seed=0),
+            BatchNorm(4),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 4 * 4, 6, seed=1),
+            ReLU(),
+            Dense(6, 3, seed=2),
+            Softmax(),
+        ],
+        name="compressible",
+    )
+    return model
+
+
+@pytest.mark.parametrize(
+    "compress",
+    [
+        lambda m: magnitude_prune_model(m, 0.5),
+        binarize_model,
+        lambda m: kmeans_quantize_model(m, clusters=8),
+        quantize_int8_model,
+    ],
+    ids=["pruned", "binarized", "kmeans", "int8"],
+)
+def test_compressed_model_parity(compressible_model, compress):
+    compressed = compress(compressible_model)
+    assert_parity(compressed, RNG.standard_normal((3, 8, 8, 1)))
+
+
+def test_recurrent_compressed_parity():
+    model = Sequential([FastGRNNLayer(5, 8, seed=0), Dense(8, 3, seed=1), Softmax()])
+    compressed = quantize_int8_model(model)
+    assert_parity(compressed, RNG.standard_normal((3, 10, 5)))
+
+
+# -- plan caching and invalidation -------------------------------------------
+
+def test_predict_caches_plan_and_matches_forward():
+    model = Sequential([Dense(6, 4, seed=0), ReLU()])
+    x = RNG.standard_normal((3, 6))
+    out = model.predict(x)
+    plan = model.compile_plan()
+    assert plan.calls >= 1
+    assert model.compile_plan() is plan  # cached, not recompiled
+    np.testing.assert_allclose(out, model.forward(x, training=False), atol=1e-6)
+
+
+def test_predict_batch_matches_predict():
+    model = Sequential([SimpleRNN(4, 6, seed=0), Dense(6, 3, seed=1), Softmax()])
+    x = RNG.standard_normal((8, 5, 4))
+    np.testing.assert_allclose(model.predict_batch(x), model.predict(x), atol=1e-12)
+
+
+def test_in_place_compression_flows_through_cached_plan():
+    """weights[...] mutation keeps array identity: no recompile needed, new values used."""
+    model = Sequential([Dense(6, 4, seed=0), ReLU()])
+    x = RNG.standard_normal((3, 6))
+    model.predict(x)
+    plan = model.compile_plan()
+    binarize_model(model, in_place=True)
+    assert model.compile_plan() is plan  # same structure, same plan
+    np.testing.assert_allclose(model.predict(x), model.forward(x, training=False), atol=1e-6)
+
+
+def test_set_param_invalidates_cached_plan():
+    model = Sequential([Dense(6, 4, seed=0), ReLU()])
+    x = RNG.standard_normal((3, 6))
+    model.predict(x)
+    plan = model.compile_plan()
+    layer = model.layers[0]
+    layer.set_param("W", np.ones_like(layer.params["W"]))
+    assert not plan.matches(model)
+    assert model.compile_plan() is not plan
+    np.testing.assert_allclose(model.predict(x), model.forward(x, training=False), atol=1e-6)
+
+
+def test_add_layer_invalidates_cached_plan():
+    model = Sequential([Dense(6, 4, seed=0)])
+    x = RNG.standard_normal((3, 6))
+    model.predict(x)
+    plan = model.compile_plan()
+    model.add(ReLU())
+    assert model.compile_plan() is not plan
+    np.testing.assert_allclose(model.predict(x), model.forward(x, training=False), atol=1e-6)
+
+
+def test_layer_swap_invalidates_cached_plan():
+    model = Sequential([Dense(6, 4, seed=0), ReLU()])
+    x = RNG.standard_normal((3, 6))
+    model.predict(x)
+    plan = model.compile_plan()
+    model.layers[1] = Tanh()
+    assert not plan.matches(model)
+    np.testing.assert_allclose(model.predict(x), model.forward(x, training=False), atol=1e-6)
+
+
+def test_training_after_compilation_updates_batchnorm_stats():
+    model = Sequential([Dense(6, 8, seed=0), BatchNorm(8), Dense(8, 3, seed=1), Softmax()])
+    x = RNG.standard_normal((32, 6))
+    y = RNG.integers(0, 3, 32)
+    probe = RNG.standard_normal((4, 6))
+    model.predict(probe)  # compile before training
+    model.fit(x, y, epochs=1, batch_size=8)
+    np.testing.assert_allclose(model.predict(probe), model.forward(probe, training=False),
+                               atol=1e-6)
+
+
+def test_clone_does_not_share_plan_or_workspace():
+    model = Sequential([Dense(6, 4, seed=0), ReLU()])
+    x = RNG.standard_normal((3, 6))
+    model.predict(x)
+    clone = model.clone_architecture()
+    assert clone._plan is None  # noqa: SLF001 - cache must not survive the copy
+    np.testing.assert_allclose(clone.predict(x), model.predict(x), atol=1e-12)
+
+
+def test_outputs_are_not_aliased_across_calls():
+    model = Sequential([Dense(6, 4, seed=0), ReLU()])
+    x = RNG.standard_normal((3, 6))
+    first = model.predict(x)
+    kept = first.copy()
+    second = model.predict(x + 1.0)
+    assert not np.shares_memory(first, second)
+    np.testing.assert_array_equal(first, kept)
+
+
+def test_workspace_reused_across_calls_and_keyed_by_shape():
+    model = Sequential([Conv2D(1, 3, seed=0), ReLU(), GlobalAvgPool2D()])
+    plan = model.compile_plan()
+    plan.execute(RNG.standard_normal((2, 8, 8, 1)))
+    buffers_after_first = plan.arena.buffer_count
+    plan.execute(RNG.standard_normal((2, 8, 8, 1)))
+    assert plan.arena.buffer_count == buffers_after_first  # reused, not regrown
+    plan.execute(RNG.standard_normal((5, 8, 8, 1)))
+    assert plan.arena.buffer_count > buffers_after_first  # new batch size, new slots
+    assert plan.arena.nbytes > 0
+    plan.arena.clear()
+    assert plan.arena.buffer_count == 0
+
+
+def test_plan_describe_reports_fusion_and_steps():
+    model = Sequential([Conv2D(1, 3, seed=0), ReLU(), Flatten(), Dense(3 * 64, 2, seed=1),
+                        Softmax()])
+    plan = model.compile_plan()
+    description = plan.describe()
+    assert description["fused_activations"] == 2  # conv+ReLU and dense+Softmax
+    assert any("conv" in step for step in description["steps"])
+    assert description["model"] == model.name
+
+
+def test_plan_preserves_shape_errors():
+    model = Sequential([Dense(6, 4, seed=0)])
+    with pytest.raises(ShapeError):
+        model.predict(RNG.standard_normal((3, 6, 1)))
+    with pytest.raises(ConfigurationError):
+        model.predict(RNG.standard_normal((3, 7)))
+    pooled = Sequential([MaxPool2D(3)])
+    with pytest.raises(ShapeError):
+        pooled.predict(RNG.standard_normal((1, 8, 8, 1)))
+
+
+def test_fingerprint_is_stable_without_mutation():
+    model = Sequential([Dense(6, 4, seed=0), BatchNorm(4)])
+    assert model_fingerprint(model) == model_fingerprint(model)
+
+
+def test_arena_distinguishes_roles_and_steps():
+    arena = WorkspaceArena()
+    a = arena.get(0, "out", (2, 2))
+    b = arena.get(1, "out", (2, 2))
+    c = arena.get(0, "cols", (2, 2))
+    assert a is arena.get(0, "out", (2, 2))
+    assert a is not b and a is not c and b is not c
+
+
+def test_arena_evicts_buffers_of_dead_threads():
+    """Thread-per-request servers must not accumulate one workspace per
+    thread ever seen; dead threads' buffers are pruned on registration."""
+    import threading
+
+    arena = WorkspaceArena()
+    arena.get(0, "out", (64, 64))
+    for wave in range(5):
+        thread = threading.Thread(target=lambda: arena.get(0, "out", (64, 64)))
+        thread.start()
+        thread.join()
+    # a fresh thread's registration prunes every exited thread's set
+    final = threading.Thread(target=lambda: arena.get(0, "out", (64, 64)))
+    final.start()
+    final.join()
+    # survivors: at most the main thread's set and the last (dead but
+    # not-yet-pruned) thread's set — never one per historical thread
+    assert arena.buffer_count <= 2
+
+
+# -- recurrent inference no longer hoards per-timestep state ------------------
+
+@pytest.mark.parametrize(
+    "layer_factory",
+    [
+        lambda: SimpleRNN(4, 6, seed=0),
+        lambda: GRUCellLayer(4, 6, seed=0),
+        lambda: LSTMLayer(4, 6, seed=0),
+        lambda: FastGRNNLayer(4, 6, seed=0),
+    ],
+    ids=["simplernn", "gru", "lstm", "fastgrnn"],
+)
+def test_recurrent_inference_keeps_no_per_timestep_cache(layer_factory):
+    layer = layer_factory()
+    x = RNG.standard_normal((3, 10, 4))
+    layer.forward(x, training=False)
+    assert layer._cache is None  # noqa: SLF001 - the satellite contract under test
+    # training mode still caches and supports backward
+    out = layer.forward(x, training=True)
+    assert layer._cache is not None  # noqa: SLF001
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
