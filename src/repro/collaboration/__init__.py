@@ -18,7 +18,9 @@ from repro.collaboration.cloud_edge import (
     CloudOffloadPlanner,
     DataflowMetrics,
     DataflowRunner,
+    ModelSyncPlanner,
     OffloadPlan,
+    SyncPlan,
     TransferLearner,
 )
 from repro.collaboration.ddnn import DDNNInference, DDNNResult
@@ -42,7 +44,9 @@ __all__ = [
     "FederatedClient",
     "FederatedResult",
     "FederatedTrainer",
+    "ModelSyncPlanner",
     "OffloadPlan",
+    "SyncPlan",
     "split_dataset_across_edges",
     "TrainedModelRecord",
     "TransferLearner",

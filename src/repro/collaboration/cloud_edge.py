@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # repro.core imports this module (TransferLearner), so the
     # reverse imports must stay lazy to avoid a cycle; see OffloadPlan/plan()
     from repro.core.alem import ALEM, ALEMRequirement, OptimizationTarget
     from repro.core.model_zoo import ModelZoo
+    from repro.core.registry import ModelRegistry, VersionRef
 
 
 @dataclass
@@ -202,6 +203,77 @@ class CloudOffloadPlanner:
         satisfied = [p for p in plans if p.satisfied]
         pool = satisfied or plans
         return min(pool, key=lambda p: p.alem.objective_value(target))
+
+
+@dataclass(frozen=True)
+class SyncPlan:
+    """The priced download of one registry version over one link.
+
+    ``mode`` is ``"up-to-date"`` (nothing to transfer), ``"delta"`` (the
+    edge holds a related artifact and only changed arrays travel) or
+    ``"full"`` (cold download).  ``saved_bytes`` is what the delta
+    avoided relative to the full artifact.
+    """
+
+    ref: str
+    fingerprint: str
+    mode: str
+    transfer_bytes: int
+    transfer_seconds: float
+    saved_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "ref": self.ref,
+            "fingerprint": self.fingerprint[:12],
+            "mode": self.mode,
+            "transfer_bytes": self.transfer_bytes,
+            "transfer_seconds": self.transfer_seconds,
+            "saved_bytes": self.saved_bytes,
+        }
+
+
+class ModelSyncPlanner:
+    """Prices registry downloads to an edge over a network link.
+
+    The paper's dataflow 2 downloads the whole model every time; with the
+    versioned :class:`~repro.core.registry.ModelRegistry` recording
+    per-array content digests, an edge that already holds a related
+    version (the previous rollout, or the compressed variant's base)
+    only needs the arrays that changed.  The planner turns the
+    registry's :meth:`~repro.core.registry.ModelRegistry.delta_bytes`
+    into link seconds so rollout tooling can schedule transfers.
+    """
+
+    def __init__(self, registry: "ModelRegistry", link: NetworkLink) -> None:
+        self.registry = registry
+        self.link = link
+
+    def plan(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        have: Optional["VersionRef"] = None,
+    ) -> SyncPlan:
+        """Cost bringing an edge that holds ``have`` up to ``name@version``."""
+        target = self.registry.get(name, version)
+        transfer = self.registry.delta_bytes(name, target.version, have=have)
+        if have is not None and transfer == 0:
+            mode = "up-to-date"
+        elif have is not None and transfer < target.size_bytes:
+            mode = "delta"
+        else:
+            mode = "full"
+        return SyncPlan(
+            ref=target.ref,
+            fingerprint=target.fingerprint,
+            mode=mode,
+            transfer_bytes=transfer,
+            transfer_seconds=(
+                0.0 if transfer == 0 else self.link.transfer_seconds(transfer)
+            ),
+            saved_bytes=target.size_bytes - transfer,
+        )
 
 
 class DataflowRunner:

@@ -6,6 +6,8 @@
   (model, package, device) combination.
 * :mod:`repro.core.model_zoo` — the optimized-model registry the model
   selector draws from.
+* :mod:`repro.core.registry` — the versioned, content-addressed model
+  registry behind the cloud→edge→cloud model lifecycle.
 * :mod:`repro.core.model_selector` — the Selecting Algorithm of Eq. (1)
   plus a reinforcement-learning selector.
 * :mod:`repro.core.package_manager` — the lightweight package manager
@@ -20,6 +22,7 @@ from repro.core.model_selector import ModelSelector, RLModelSelector, SelectionR
 from repro.core.model_zoo import ModelZoo, ZooEntry
 from repro.core.openei import OpenEI
 from repro.core.package_manager import InferenceOutcome, PackageManager
+from repro.core.registry import ModelRegistry, ModelVersion, RegistryStats
 
 __all__ = [
     "ALEM",
@@ -27,9 +30,12 @@ __all__ = [
     "CapabilityEvaluator",
     "EvaluatedCandidate",
     "InferenceOutcome",
+    "ModelRegistry",
     "ModelSelector",
+    "ModelVersion",
     "ModelZoo",
     "OpenEI",
+    "RegistryStats",
     "OptimizationTarget",
     "PackageManager",
     "RLModelSelector",

@@ -66,6 +66,36 @@ class ModelZoo:
         self._entries[name] = entry
         return entry
 
+    def pull_from(
+        self,
+        registry,
+        name: str,
+        version: Optional[int] = None,
+        entry_name: Optional[str] = None,
+    ) -> ZooEntry:
+        """Install one registry version into the zoo (replacing same-name entries).
+
+        ``registry`` is a :class:`~repro.core.registry.ModelRegistry`;
+        the artifact carries everything the zoo needs (model, task,
+        input shape, scenario, optimizations), so this is the package
+        manager's download path from the cloud-side registry.  The zoo
+        entry records its provenance under ``extra["registry_version"]``
+        / ``extra["fingerprint"]``.
+        """
+        record = registry.get(name, version)
+        model = registry.pull(name, record.version)
+        return self.register(
+            entry_name or name,
+            model,
+            task=record.task,
+            input_shape=record.input_shape,
+            scenario=record.scenario,
+            optimizations=record.optimizations,
+            registry_version=record.ref,
+            fingerprint=record.fingerprint,
+            **dict(record.extra),
+        )
+
     def register_builder(
         self,
         name: str,

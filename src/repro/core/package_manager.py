@@ -48,7 +48,10 @@ class PackageManager:
         profiler: Optional[ALEMProfiler] = None,
     ) -> None:
         self.runtime = runtime
-        self.zoo = zoo or ModelZoo()
+        # "zoo or ModelZoo()" would discard an *empty* shared zoo (len() == 0
+        # makes it falsy), silently unsharing the caller's registry — the
+        # same falsiness bug PR 1 fixed in OpenEI.
+        self.zoo = zoo if zoo is not None else ModelZoo()
         self.profiler = profiler or make_profiler(package_name)
         self.package_name = self.profiler.package_name
         self._loaded: Dict[str, ZooEntry] = {}
@@ -62,6 +65,25 @@ class PackageManager:
             self.runtime.install_model(name, size_mb)
             self._loaded[name] = entry
         return entry
+
+    def install_from_registry(
+        self, registry, name: str, version: Optional[int] = None
+    ) -> ZooEntry:
+        """Download a registry version into the zoo and load it onto this edge.
+
+        The paper's package-manager download path, now against the
+        versioned :class:`~repro.core.registry.ModelRegistry`: the full
+        artifact (architecture + weights + state) replaces any same-name
+        zoo entry, and the refreshed model is (re)loaded locally.  The
+        registry lookup happens *before* the currently loaded copy is
+        unloaded, so a failed install (unknown name/version) leaves the
+        edge serving what it already had.
+        """
+        registry.get(name, version)  # raise before touching serving state
+        if name in self._loaded:
+            self.unload_model(name)
+        self.zoo.pull_from(registry, name, version)
+        return self.load_model(name)
 
     def unload_model(self, name: str) -> None:
         """Remove a loaded model from the edge."""

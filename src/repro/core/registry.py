@@ -1,0 +1,326 @@
+"""The versioned, content-addressed model registry.
+
+The paper's model zoo holds whatever optimized models were registered in
+process; nothing tracks *which build* of a model an edge is serving, and
+pushing a new build across a fleet meant re-running the registration
+code everywhere.  :class:`ModelRegistry` turns the cloud→edge→cloud
+model loop into a real subsystem:
+
+* **full-model artifacts** — every published version stores the complete
+  :func:`~repro.nn.serialization.serialize_model` artifact (architecture
+  + weights + layer state + compression metadata), so a puller needs no
+  caller-side reconstruction;
+* **content addressing** — artifacts are stored under their
+  :func:`~repro.nn.serialization.model_fingerprint`; publishing the same
+  content twice (even under two names) stores one blob, and pulling a
+  version always yields byte-identical data on every replica;
+* **versioning + lineage** — versions are monotonically numbered per
+  name, and each may point at the version it was derived from
+  (``base=``), which is how a compressed variant records the model it
+  was compressed from;
+* **delta-aware transfer costing** — per-array digests recorded at
+  publish time let :meth:`delta_bytes` price an incremental download
+  (only the arrays that changed) against what the edge already holds,
+  which :class:`~repro.collaboration.cloud_edge.ModelSyncPlanner` turns
+  into link seconds.
+
+The registry is thread-safe: fleet replicas pull concurrently during a
+rollout.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError, ResourceNotFoundError
+from repro.nn.model import Sequential
+from repro.nn.serialization import (
+    array_digest,
+    deserialize_model,
+    model_arrays,
+    model_fingerprint,
+    serialize_model,
+)
+
+#: Ways to name a version: "name@3", ("name", 3), or a ModelVersion.
+VersionRef = Union[str, Tuple[str, int], "ModelVersion"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """Immutable record of one published model version."""
+
+    name: str
+    version: int
+    fingerprint: str
+    size_bytes: int
+    task: str
+    input_shape: Tuple[int, ...]
+    scenario: str = "generic"
+    optimizations: Tuple[str, ...] = ()
+    base: Optional[Tuple[str, int]] = None
+    #: per-array content digests: key -> (sha256, nbytes); drives deltas.
+    array_digests: Mapping[str, Tuple[str, int]] = field(default_factory=dict)
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def ref(self) -> str:
+        """The ``name@version`` handle operators use."""
+        return f"{self.name}@{self.version}"
+
+    @property
+    def array_bytes(self) -> int:
+        """Total bytes of parameter/state arrays (the delta-able part)."""
+        return sum(nbytes for _, nbytes in self.array_digests.values())
+
+    @property
+    def header_bytes(self) -> int:
+        """Artifact bytes that transfer regardless of deltas (header + zip)."""
+        return max(0, self.size_bytes - self.array_bytes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ref": self.ref,
+            "fingerprint": self.fingerprint[:12],
+            "size_bytes": self.size_bytes,
+            "task": self.task,
+            "input_shape": list(self.input_shape),
+            "scenario": self.scenario,
+            "optimizations": list(self.optimizations),
+            "base": None if self.base is None else f"{self.base[0]}@{self.base[1]}",
+            "extra": dict(self.extra),
+        }
+
+
+@dataclass
+class RegistryStats:
+    """Counters surfaced through :meth:`ModelRegistry.describe`."""
+
+    publishes: int = 0
+    dedup_hits: int = 0
+    pulls: int = 0
+    bytes_pulled: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "publishes": self.publishes,
+            "dedup_hits": self.dedup_hits,
+            "pulls": self.pulls,
+            "bytes_pulled": self.bytes_pulled,
+        }
+
+
+class ModelRegistry:
+    """Thread-safe, versioned store of full-model artifacts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._blobs: Dict[str, bytes] = {}
+        self._versions: Dict[str, List[ModelVersion]] = {}
+        self.stats = RegistryStats()
+
+    # -- publishing --------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        model: Sequential,
+        task: str,
+        input_shape: Tuple[int, ...],
+        scenario: str = "generic",
+        optimizations: Tuple[str, ...] = (),
+        base: Optional[VersionRef] = None,
+        **extra: object,
+    ) -> ModelVersion:
+        """Publish a model as the next version of ``name``.
+
+        Re-publishing the latest version's exact content *and* metadata
+        is idempotent: the existing version is returned, no new version
+        number is burned.  Same content with different metadata (e.g. a
+        corrected eval accuracy) becomes a new version sharing the same
+        stored blob.  ``base`` records lineage (e.g. the uncompressed
+        model a quantized variant came from) and must already exist.
+        """
+        if not name:
+            raise ConfigurationError("registry entries need a non-empty name")
+        if "@" in name:
+            raise ConfigurationError(
+                f"registry names cannot contain '@' (reserved for name@version "
+                f"refs): {name!r}"
+            )
+        blob = serialize_model(model)
+        digests = {
+            key: (array_digest(value), int(value.nbytes))
+            for key, value in model_arrays(model).items()
+        }
+        # reuse the per-array digests so publish hashes each array once
+        fingerprint = model_fingerprint(
+            model, array_digests={key: sha for key, (sha, _) in digests.items()}
+        )
+        with self._lock:
+            base_key: Optional[Tuple[str, int]] = None
+            if base is not None:
+                resolved = self.resolve(base)
+                base_key = (resolved.name, resolved.version)
+            history = self._versions.setdefault(name, [])
+            entry = ModelVersion(
+                name=name,
+                version=len(history) + 1,
+                fingerprint=fingerprint,
+                size_bytes=len(blob),
+                task=task,
+                input_shape=tuple(int(d) for d in input_shape),
+                scenario=scenario,
+                optimizations=tuple(optimizations),
+                base=base_key,
+                array_digests=digests,
+                extra=dict(extra),
+            )
+            if history and self._same_release(history[-1], entry):
+                self.stats.dedup_hits += 1
+                return history[-1]
+            if fingerprint in self._blobs:
+                self.stats.dedup_hits += 1
+            else:
+                self._blobs[fingerprint] = blob
+            history.append(entry)
+            self.stats.publishes += 1
+            return entry
+
+    @staticmethod
+    def _same_release(latest: ModelVersion, candidate: ModelVersion) -> bool:
+        """Identical content *and* metadata — only then is publish a no-op."""
+        return (
+            latest.fingerprint == candidate.fingerprint
+            and latest.task == candidate.task
+            and latest.input_shape == candidate.input_shape
+            and latest.scenario == candidate.scenario
+            and latest.optimizations == candidate.optimizations
+            and latest.base == candidate.base
+            and dict(latest.extra) == dict(candidate.extra)
+        )
+
+    # -- lookup ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_ref(ref: VersionRef) -> Tuple[str, Optional[int]]:
+        if isinstance(ref, ModelVersion):
+            return ref.name, ref.version
+        if isinstance(ref, tuple):
+            name, version = ref
+            return str(name), int(version)
+        ref = str(ref)
+        if "@" in ref:
+            name, _, version = ref.rpartition("@")
+            if name and version.isdigit():
+                return name, int(version)
+        return ref, None
+
+    def get(self, name: str, version: Optional[int] = None) -> ModelVersion:
+        """One version's record (the latest when ``version`` is omitted)."""
+        with self._lock:
+            history = self._versions.get(name)
+            if not history:
+                raise ResourceNotFoundError(
+                    f"model {name!r} is not in the registry; available: {self.names}"
+                )
+            if version is None:
+                return history[-1]
+            if not 1 <= version <= len(history):
+                raise ResourceNotFoundError(
+                    f"model {name!r} has versions 1..{len(history)}, not {version}"
+                )
+            return history[version - 1]
+
+    def resolve(self, ref: VersionRef) -> ModelVersion:
+        """Look up a version by any :data:`VersionRef` form."""
+        return self.get(*self._resolve_ref(ref))
+
+    @property
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def versions(self, name: str) -> List[ModelVersion]:
+        """All versions of a name, oldest first."""
+        with self._lock:
+            self.get(name)  # raise uniformly on unknown names
+            return list(self._versions[name])
+
+    def lineage(self, ref: VersionRef) -> List[ModelVersion]:
+        """The version plus its chain of ``base`` ancestors, newest first."""
+        with self._lock:
+            chain = [self.resolve(ref)]
+            seen = {(chain[0].name, chain[0].version)}
+            while chain[-1].base is not None:
+                parent = self.get(*chain[-1].base)
+                if (parent.name, parent.version) in seen:  # defensive: no cycles
+                    break
+                seen.add((parent.name, parent.version))
+                chain.append(parent)
+            return chain
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._versions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)
+
+    # -- pulling -----------------------------------------------------------------
+    def pull_bytes(self, name: str, version: Optional[int] = None) -> bytes:
+        """The stored artifact bytes — identical for every concurrent puller."""
+        with self._lock:
+            entry = self.get(name, version)
+            blob = self._blobs[entry.fingerprint]
+            self.stats.pulls += 1
+            self.stats.bytes_pulled += len(blob)
+            return blob
+
+    def pull(self, name: str, version: Optional[int] = None) -> Sequential:
+        """Deserialize a private copy of one version (replicas never share)."""
+        return deserialize_model(self.pull_bytes(name, version))
+
+    # -- delta costing -----------------------------------------------------------
+    def delta_bytes(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        have: Optional[VersionRef] = None,
+    ) -> int:
+        """Bytes an edge must transfer to reach ``name@version``.
+
+        ``have`` names what the edge already holds (any version of any
+        registry name).  Arrays whose content digest is unchanged need
+        not travel; the artifact header always does.  ``have=None`` (or
+        an unrelated artifact) prices the full download; holding the
+        target already prices zero.
+        """
+        with self._lock:
+            target = self.get(name, version)
+            if have is None:
+                return target.size_bytes
+            held = self.resolve(have)
+            if held.fingerprint == target.fingerprint:
+                return 0
+            changed = sum(
+                nbytes
+                for key, (digest, nbytes) in target.array_digests.items()
+                if held.array_digests.get(key, (None, 0))[0] != digest
+            )
+            return target.header_bytes + changed
+
+    # -- reporting ---------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Registry summary for operator tooling and ``/ei_status``."""
+        with self._lock:
+            return {
+                "models": {
+                    name: [entry.as_dict() for entry in history]
+                    for name, history in sorted(self._versions.items())
+                },
+                "blobs": len(self._blobs),
+                "bytes_stored": sum(len(blob) for blob in self._blobs.values()),
+                **self.stats.as_dict(),
+            }

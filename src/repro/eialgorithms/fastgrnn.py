@@ -17,7 +17,7 @@ trained end-to-end with backpropagation through time.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -28,8 +28,10 @@ from repro.nn.layers.base import ParametricLayer
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Adam
+from repro.nn.serialization import register_layer
 
 
+@register_layer
 class FastGRNNLayer(ParametricLayer):
     """The FastGRNN recurrent cell applied over a full sequence."""
 
@@ -49,6 +51,8 @@ class FastGRNNLayer(ParametricLayer):
             raise ConfigurationError("FastGRNNLayer requires positive input_size and hidden_size")
         self.input_size = int(input_size)
         self.hidden_size = int(hidden_size)
+        self.zeta_init = float(zeta_init)
+        self.nu_init = float(nu_init)
         init = initializers.get("glorot_uniform")
         self._params["W"] = init((self.input_size, self.hidden_size), self._rng)
         self._params["U"] = init((self.hidden_size, self.hidden_size), self._rng)
@@ -117,6 +121,15 @@ class FastGRNNLayer(ParametricLayer):
             grad_inputs[:, t, :] = grad_pre @ self._params["W"].T
             grad_h = grad_h_prev + grad_pre @ self._params["U"].T
         return grad_inputs
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "input_size": self.input_size,
+            "hidden_size": self.hidden_size,
+            "zeta_init": self.zeta_init,
+            "nu_init": self.nu_init,
+        }
 
     def flops(self, input_shape: Tuple[int, ...]) -> int:
         steps, _ = input_shape

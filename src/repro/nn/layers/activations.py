@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -48,6 +48,9 @@ class LeakyReLU(Layer):
         if self._mask is None:
             raise RuntimeError("backward called before forward(training=True)")
         return grad_output * np.where(self._mask, 1.0, self.alpha)
+
+    def get_config(self) -> Dict[str, object]:
+        return {**super().get_config(), "alpha": self.alpha}
 
 
 class Sigmoid(Layer):
@@ -123,3 +126,6 @@ class Softmax(Layer):
             return grad_output
         dot = (grad_output * self._out).sum(axis=-1, keepdims=True)
         return self._out * (grad_output - dot)
+
+    def get_config(self) -> Dict[str, object]:
+        return {**super().get_config(), "pass_through_grad": self.pass_through_grad}

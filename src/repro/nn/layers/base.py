@@ -51,6 +51,38 @@ class Layer:
         """Gradients matching :attr:`params` (empty for stateless layers)."""
         return {}
 
+    # -- serialization --------------------------------------------------
+    def get_config(self) -> Dict[str, object]:
+        """Constructor keyword arguments that rebuild this layer's architecture.
+
+        Subclasses extend the base ``{"name": ...}`` with every argument
+        that shapes their parameters or forward pass; random seeds are
+        deliberately omitted because serialized weights overwrite the
+        initialization anyway.
+        """
+        return {"name": self.name}
+
+    @classmethod
+    def from_config(cls, config: Dict[str, object]) -> "Layer":
+        """Rebuild a layer from :meth:`get_config` output."""
+        return cls(**config)
+
+    def get_state(self) -> Dict[str, np.ndarray]:
+        """Non-parameter arrays the layer needs at inference time.
+
+        Unlike :attr:`params`, these are not touched by optimizers but
+        still define the layer's behavior (e.g. BatchNorm running
+        statistics), so serialization must carry them.
+        """
+        return {}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore arrays produced by :meth:`get_state`."""
+        if state:
+            raise ShapeError(
+                f"layer {self.name!r} holds no serializable state; got keys {sorted(state)}"
+            )
+
     # -- cost accounting ------------------------------------------------
     def param_count(self) -> int:
         """Number of scalar trainable parameters in the layer."""

@@ -8,7 +8,7 @@ im2col so the arithmetic maps onto dense matrix multiplies.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -97,6 +97,7 @@ class Conv2D(ParametricLayer):
         self.stride = int(stride)
         self.padding = padding
         self.use_bias = bool(use_bias)
+        self.weight_init = str(weight_init)
         init = initializers.get(weight_init)
         self._params["W"] = init(
             (self.kernel_size, self.kernel_size, self.in_channels, self.out_channels), self._rng
@@ -142,6 +143,18 @@ class Conv2D(ParametricLayer):
         grad_cols = grad_mat @ w_mat.T
         return col2im(grad_cols, input_shape, self.kernel_size, self.stride, self.pad)
 
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+            "use_bias": self.use_bias,
+            "weight_init": self.weight_init,
+        }
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         height, width, _ = input_shape
         out_h = _conv_output_size(height, self.kernel_size, self.stride, self.pad)
@@ -180,6 +193,7 @@ class DepthwiseConv2D(ParametricLayer):
         self.stride = int(stride)
         self.padding = padding
         self.use_bias = bool(use_bias)
+        self.weight_init = str(weight_init)
         init = initializers.get(weight_init)
         self._params["W"] = init(
             (self.kernel_size, self.kernel_size, self.in_channels, 1), self._rng
@@ -228,6 +242,17 @@ class DepthwiseConv2D(ParametricLayer):
         grad_cols3 = np.einsum("pc,kc->pkc", grad_mat, w3)
         grad_cols = grad_cols3.reshape(batch * out_h * out_w, -1)
         return col2im(grad_cols, input_shape, self.kernel_size, self.stride, self.pad)
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "in_channels": self.in_channels,
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+            "use_bias": self.use_bias,
+            "weight_init": self.weight_init,
+        }
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         height, width, _ = input_shape
@@ -311,6 +336,17 @@ class SeparableConv2D(Layer):
             self.pointwise.set_param(inner, value)
         else:
             raise KeyError(f"SeparableConv2D has no parameter {key!r}")
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "kernel_size": self.depthwise.kernel_size,
+            "stride": self.depthwise.stride,
+            "padding": self.depthwise.padding,
+            "use_bias": self.depthwise.use_bias,
+        }
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return self.pointwise.output_shape(self.depthwise.output_shape(input_shape))

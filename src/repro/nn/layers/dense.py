@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ class Dense(ParametricLayer):
         self.in_features = int(in_features)
         self.out_features = int(out_features)
         self.use_bias = bool(use_bias)
+        self.weight_init = str(weight_init)
         init = initializers.get(weight_init)
         self._params["W"] = init((self.in_features, self.out_features), self._rng)
         if self.use_bias:
@@ -59,6 +60,15 @@ class Dense(ParametricLayer):
         if self.use_bias:
             self._grads["b"] = grad_output.sum(axis=0)
         return grad_output @ self._params["W"].T
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "use_bias": self.use_bias,
+            "weight_init": self.weight_init,
+        }
 
     def flops(self, input_shape: Tuple[int, ...]) -> int:
         del input_shape

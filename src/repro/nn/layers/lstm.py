@@ -9,7 +9,7 @@ has the baseline the paper compares against.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +38,7 @@ class LSTMLayer(ParametricLayer):
             raise ConfigurationError("LSTMLayer requires positive input_size and hidden_size")
         self.input_size = int(input_size)
         self.hidden_size = int(hidden_size)
+        self.forget_bias = float(forget_bias)
         init = initializers.get("glorot_uniform")
         for gate in self.GATES:
             self._params[f"Wx_{gate}"] = init((self.input_size, self.hidden_size), self._rng)
@@ -110,6 +111,14 @@ class LSTMLayer(ParametricLayer):
                 grad_h += pre[gate] @ self._params[f"Wh_{gate}"].T
             grad_inputs[:, t, :] = grad_x
         return grad_inputs
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "input_size": self.input_size,
+            "hidden_size": self.hidden_size,
+            "forget_bias": self.forget_bias,
+        }
 
     def flops(self, input_shape: Tuple[int, ...]) -> int:
         steps, _ = input_shape

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShapeError
 from repro.nn import initializers
 from repro.nn.layers.base import ParametricLayer
 
@@ -76,6 +76,33 @@ class BatchNorm(ParametricLayer):
             -2.0 * centered.mean(axis=axes)
         )
         return grad_norm * std_inv + grad_var * 2.0 * centered / count + grad_mean / count
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "num_features": self.num_features,
+            "momentum": self.momentum,
+            "epsilon": self.epsilon,
+        }
+
+    def get_state(self) -> Dict[str, np.ndarray]:
+        """Running statistics: inference-time behavior lives here, not in params."""
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        for key, value in state.items():
+            if key not in ("running_mean", "running_var"):
+                raise ShapeError(f"BatchNorm {self.name!r} has no state {key!r}")
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != (self.num_features,):
+                raise ShapeError(
+                    f"BatchNorm {self.name!r} state {key!r} expects shape "
+                    f"{(self.num_features,)}; got {value.shape}"
+                )
+            setattr(self, key, value)
 
     def flops(self, input_shape: Tuple[int, ...]) -> int:
         return int(2 * np.prod(input_shape))

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,9 @@ class MaxPool2D(Layer):
         grad = mask * grad_output[:, :, None, :, None, :]
         return grad.reshape(input_shape)
 
+    def get_config(self) -> Dict[str, object]:
+        return {**super().get_config(), "pool_size": self.pool_size}
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         height, width, channels = input_shape
         return (height // self.pool_size, width // self.pool_size, channels)
@@ -83,6 +86,9 @@ class AvgPool2D(Layer):
         p = self.pool_size
         grad = np.repeat(np.repeat(grad_output, p, axis=1), p, axis=2)
         return grad / (p * p)
+
+    def get_config(self) -> Dict[str, object]:
+        return {**super().get_config(), "pool_size": self.pool_size}
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         height, width, channels = input_shape

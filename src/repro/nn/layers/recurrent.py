@@ -9,7 +9,7 @@ head directly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -84,6 +84,13 @@ class SimpleRNN(ParametricLayer):
         self._grads["Wh"] = grad_wh
         self._grads["b"] = grad_b
         return grad_inputs
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "input_size": self.input_size,
+            "hidden_size": self.hidden_size,
+        }
 
     def flops(self, input_shape: Tuple[int, ...]) -> int:
         steps, _ = input_shape
@@ -201,6 +208,13 @@ class GRUCellLayer(ParametricLayer):
                 + grad_pre_r @ self._params["Wh_r"].T
             )
         return grad_inputs
+
+    def get_config(self) -> Dict[str, object]:
+        return {
+            **super().get_config(),
+            "input_size": self.input_size,
+            "hidden_size": self.hidden_size,
+        }
 
     def flops(self, input_shape: Tuple[int, ...]) -> int:
         steps, _ = input_shape

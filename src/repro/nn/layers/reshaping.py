@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,9 @@ class Dropout(Layer):
         if self._mask is None:
             return grad_output
         return grad_output * self._mask
+
+    def get_config(self) -> Dict[str, object]:
+        return {**super().get_config(), "rate": self.rate}
 
     def flops(self, input_shape: Tuple[int, ...]) -> int:
         del input_shape

@@ -28,6 +28,12 @@ same-algorithm requests into one vectorized invocation
 ``batching=BatchingConfig(...)`` to :class:`LibEIServer` or
 :class:`~repro.serving.fleet.FleetGateway` to turn it on.
 
+The model lifecycle layer makes serving *versions* operable:
+:mod:`repro.serving.rollout` canaries a new
+:class:`~repro.core.registry.ModelRegistry` version on one replica,
+judges it on observed ALEM windows, and promotes it fleet-wide (or rolls
+it back) without dropping in-flight requests.
+
 The adaptive control plane closes the Eq. (1) loop online:
 :mod:`repro.serving.telemetry` records observed per-replica ALEM from
 live gateway calls into sliding windows, and
@@ -48,6 +54,13 @@ from repro.serving.batching import BatchingConfig, BatchingDispatcher, BatchingS
 from repro.serving.cache import CacheStats, SelectionCache, TTLLRUCache
 from repro.serving.client import LibEIClient
 from repro.serving.fleet import EdgeFleet, FleetGateway, FleetInstance
+from repro.serving.rollout import (
+    RolloutController,
+    RolloutEvent,
+    RolloutPolicy,
+    RolloutStats,
+    ServingEntry,
+)
 from repro.serving.telemetry import ALEMTelemetry, TelemetryWindow
 from repro.serving.router import (
     ROUTING_POLICIES,
@@ -80,9 +93,14 @@ __all__ = [
     "ParsedRequest",
     "ROUTING_POLICIES",
     "ReselectionEvent",
+    "RolloutController",
+    "RolloutEvent",
+    "RolloutPolicy",
+    "RolloutStats",
     "RoundRobinRouter",
     "RoutingPolicy",
     "SLOPolicy",
+    "ServingEntry",
     "SelectionCache",
     "TTLLRUCache",
     "TelemetryWindow",

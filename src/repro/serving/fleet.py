@@ -84,6 +84,9 @@ class EdgeFleet:
         # registers itself here so /ei_status reports reselections
         self.telemetry = telemetry
         self.adaptive = None
+        # a RolloutController registers itself here so /ei_status reports
+        # per-replica serving versions and in-flight canaries
+        self.rollout = None
         self._instances: List[FleetInstance] = []
         self._ids = itertools.count()
         self._stats_lock = threading.Lock()
@@ -203,6 +206,7 @@ class EdgeFleet:
             ),
             "telemetry": self.telemetry.describe() if self.telemetry is not None else None,
             "adaptive": self.adaptive.describe() if self.adaptive is not None else None,
+            "rollout": self.rollout.describe() if self.rollout is not None else None,
             "instances": [instance.describe() for instance in self._instances],
         }
 

@@ -1,0 +1,628 @@
+"""Zero-downtime fleet rollouts: publish → canary → promote / rollback.
+
+The :class:`~repro.core.registry.ModelRegistry` gives models versions;
+this module makes a *new* version safe to push across a live fleet.  A
+:class:`RolloutController` owns what every replica currently serves for
+a ``(scenario, algorithm)`` and drives the rollout state machine:
+
+1. **deploy** — install a registry version fleet-wide as the serving
+   baseline.  Every replica pulls its own private copy of the artifact
+   (replicas never share mutable model objects), the shared zoo entry is
+   refreshed so Eq. (1) selection and the adaptive controller see the
+   same build, and :meth:`make_handler` handlers are registered through
+   the existing ``register_algorithm`` path.
+2. **canary** (:meth:`begin`) — stage the candidate version on one
+   replica only.  Its telemetry window is reset so the candidate is
+   judged on its own observations, while the rest of the fleet keeps
+   serving the baseline.
+3. **watch** (:meth:`step`) — each control cycle reads the canary's
+   observed ALEM window (the PR-3 telemetry the adaptive controller also
+   uses) against the rollout policy's
+   :class:`~repro.core.alem.ALEMRequirement`.  A confirmed violation
+   **rolls back** the canary to the baseline; ``healthy_checks``
+   consecutive clean windows of at least ``min_samples`` observations
+   **promote** the candidate fleet-wide.
+4. **promote / rollback** — both are hot swaps: the serving table flips
+   under the controller's lock, in-flight requests finish on the model
+   object they already resolved, and the next request sees the new
+   version.  No sockets close, no handler re-registration, nothing
+   drops.  Engine plans recompile automatically because every pulled
+   copy is a fresh :class:`~repro.nn.model.Sequential` whose structural
+   fingerprint no longer matches any cached plan.
+
+Transfer costs are accounted per replica against what it already held
+(:meth:`~repro.core.registry.ModelRegistry.delta_bytes`), so rollout
+events report how many bytes the version push actually moved.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.alem import ALEM, ALEMRequirement
+from repro.core.openei import OpenEI
+from repro.core.registry import ModelRegistry, ModelVersion
+from repro.exceptions import ConfigurationError, ResourceNotFoundError
+from repro.nn.model import Sequential
+from repro.serving.telemetry import OBSERVED_ALEM_KEY, ALEMTelemetry
+
+#: Maps :meth:`ALEMRequirement.violations` names to telemetry axis names.
+_VIOLATION_AXES = {
+    "accuracy": "accuracy",
+    "latency": "latency_s",
+    "energy": "energy_j",
+    "memory": "memory_mb",
+}
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """Health criteria for promoting a canaried version.
+
+    ``requirement`` is evaluated on the canary's *measured* ALEM window;
+    each health check needs at least ``min_samples`` windowed latency
+    observations, and ``healthy_checks`` consecutive clean checks (each
+    on a fresh window) promote.  A confirmed violation rolls back
+    immediately — a canary is cheap, a degraded fleet is not.
+    """
+
+    requirement: ALEMRequirement = field(default_factory=ALEMRequirement)
+    min_samples: int = 5
+    healthy_checks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_samples <= 0:
+            raise ConfigurationError("min_samples must be positive")
+        if self.healthy_checks <= 0:
+            raise ConfigurationError("healthy_checks must be positive")
+
+
+@dataclass
+class ServingEntry:
+    """What one replica currently serves for one ``(scenario, algorithm)``."""
+
+    instance_id: str
+    version: ModelVersion
+    model: Sequential
+    expected: ALEM
+    canary: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "instance_id": self.instance_id,
+            "version": self.version.ref,
+            "fingerprint": self.version.fingerprint[:12],
+            "canary": self.canary,
+            "expected": self.expected.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RolloutEvent:
+    """One state transition of a rollout."""
+
+    kind: str                    # "deploy" | "canary" | "healthy" | "promote" | "rollback"
+    scenario: str
+    algorithm: str
+    ref: str
+    instance_ids: Tuple[str, ...]
+    transfer_bytes: int = 0
+    violations: Dict[str, float] = field(default_factory=dict)
+    samples: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "algorithm": self.algorithm,
+            "ref": self.ref,
+            "instances": list(self.instance_ids),
+            "transfer_bytes": self.transfer_bytes,
+            "violations": dict(self.violations),
+            "samples": self.samples,
+        }
+
+
+@dataclass
+class _ActiveRollout:
+    """Book-keeping for one in-flight canary."""
+
+    target: ModelVersion
+    canary_id: str
+    policy: RolloutPolicy
+    baseline: ServingEntry          # what the canary served before staging
+    healthy_streak: int = 0
+    stage: str = "canary"   # "staging" | "canary" | "promoting" | "promoted" | "rolled-back"
+    #: True while one check() judges this canary's window — a concurrent
+    #: check must not count the same window into healthy_streak twice.
+    judging: bool = False
+
+
+@dataclass
+class RolloutStats:
+    """Counters surfaced through ``/ei_status``."""
+
+    deploys: int = 0
+    canaries: int = 0
+    checks: int = 0
+    promotions: int = 0
+    rollbacks: int = 0
+    bytes_transferred: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "deploys": self.deploys,
+            "canaries": self.canaries,
+            "checks": self.checks,
+            "promotions": self.promotions,
+            "rollbacks": self.rollbacks,
+            "bytes_transferred": self.bytes_transferred,
+        }
+
+
+class RolloutController:
+    """Versioned serving tables plus the canary → promote/rollback loop."""
+
+    def __init__(
+        self,
+        fleet,
+        registry: ModelRegistry,
+        telemetry: Optional[ALEMTelemetry] = None,
+        max_events: int = 128,
+    ) -> None:
+        self.fleet = fleet
+        self.registry = registry
+        telemetry = telemetry if telemetry is not None else getattr(fleet, "telemetry", None)
+        if telemetry is None:
+            raise ConfigurationError(
+                "RolloutController needs telemetry to judge canaries: pass one, "
+                "or deploy the fleet with telemetry attached"
+            )
+        self.telemetry = telemetry
+        self.stats = RolloutStats()
+        self.events: Deque[RolloutEvent] = deque(maxlen=max_events)
+        self._lock = threading.RLock()
+        # (scenario, algorithm) -> instance_id -> ServingEntry
+        self._serving: Dict[Tuple[str, str], Dict[str, ServingEntry]] = {}
+        self._rollouts: Dict[Tuple[str, str], _ActiveRollout] = {}
+        if hasattr(fleet, "rollout"):
+            fleet.rollout = self
+
+    # -- installing entries ------------------------------------------------------
+    def _make_entry(
+        self, instance, version: ModelVersion, canary: bool = False
+    ) -> ServingEntry:
+        """Pull a private model copy for one replica and profile it there."""
+        model = self.registry.pull(version.name, version.version)
+        openei = instance.openei
+        profile = openei.package_manager.profiler.profile(
+            model,
+            version.input_shape,
+            openei.device,
+            bytes_per_param=float(model.metadata.get("bytes_per_param", 4.0)),
+        )
+        accuracy = version.extra.get("accuracy")
+        expected = ALEM(
+            accuracy=float(accuracy) if accuracy is not None else 1.0,
+            latency_s=profile.latency_s,
+            energy_j=profile.energy_j,
+            memory_mb=profile.memory_mb,
+        )
+        return ServingEntry(
+            instance_id=instance.instance_id,
+            version=version,
+            model=model,
+            expected=expected,
+            canary=canary,
+        )
+
+    def _transfer_cost(
+        self, target: ModelVersion, held: Optional[ModelVersion]
+    ) -> int:
+        have = None if held is None else (held.name, held.version)
+        return self.registry.delta_bytes(target.name, target.version, have=have)
+
+    # -- baseline deployment -----------------------------------------------------
+    def deploy(
+        self,
+        scenario: str,
+        algorithm: str,
+        name: str,
+        version: Optional[int] = None,
+        update_zoo: bool = True,
+    ) -> List[ServingEntry]:
+        """Serve a registry version fleet-wide as the rollout baseline.
+
+        Registers a :meth:`make_handler` handler for the algorithm on
+        every replica; ``update_zoo=True`` (default) also refreshes the
+        fleet's shared zoo entry so selection-layer consumers profile the
+        exact published build.
+        """
+        target = self.registry.get(name, version)
+        key = (scenario, algorithm)
+        with self._lock:
+            previous = dict(self._serving.get(key, {}))
+        # pull + profile per replica happens outside the lock: request
+        # handlers read the serving table through it, and a deploy must
+        # not stall live traffic for N artifact deserializations
+        table: Dict[str, ServingEntry] = {}
+        moved = 0
+        for instance in self.fleet:
+            held = previous.get(instance.instance_id)
+            moved += self._transfer_cost(target, held.version if held else None)
+            table[instance.instance_id] = self._make_entry(instance, target)
+        with self._lock:
+            self._serving[key] = table
+            self._rollouts.pop(key, None)
+            self.stats.deploys += 1
+            self.stats.bytes_transferred += moved
+            event = RolloutEvent(
+                kind="deploy",
+                scenario=scenario,
+                algorithm=algorithm,
+                ref=target.ref,
+                instance_ids=tuple(sorted(table)),
+                transfer_bytes=moved,
+            )
+            self.events.append(event)
+        if update_zoo:
+            self._refresh_zoo(target)
+        self.fleet.register_algorithm(scenario, algorithm, self.make_handler(scenario, algorithm))
+        return list(table.values())
+
+    def _refresh_zoo(self, version: ModelVersion) -> None:
+        """Install the promoted build into the fleet's shared zoo."""
+        zoos = []
+        for instance in self.fleet:
+            zoo = instance.openei.zoo
+            if all(zoo is not seen for seen in zoos):
+                zoos.append(zoo)
+        for zoo in zoos:
+            zoo.pull_from(self.registry, version.name, version.version)
+
+    # -- the canary state machine ------------------------------------------------
+    def begin(
+        self,
+        scenario: str,
+        algorithm: str,
+        version: Optional[int] = None,
+        canary: Optional[str] = None,
+        policy: Optional[RolloutPolicy] = None,
+    ) -> RolloutEvent:
+        """Stage the candidate version on one canary replica.
+
+        ``version=None`` stages the latest registry version of the name
+        the baseline serves; ``canary=None`` picks the first replica.
+        """
+        key = (scenario, algorithm)
+        policy = policy or RolloutPolicy()
+        window_size = getattr(self.telemetry, "window_size", None)
+        if window_size is not None and policy.min_samples > window_size:
+            raise ConfigurationError(
+                f"min_samples={policy.min_samples} can never be reached: the "
+                f"telemetry windows hold at most {window_size} observations, "
+                "so the canary would neither promote nor roll back"
+            )
+        with self._lock:
+            table = self._serving.get(key)
+            if not table:
+                raise ResourceNotFoundError(
+                    f"nothing deployed for {scenario}/{algorithm}; call deploy() first"
+                )
+            active = self._rollouts.get(key)
+            if active is not None and active.stage in ("staging", "canary", "promoting"):
+                raise ConfigurationError(
+                    f"a rollout of {active.target.ref} is already in flight "
+                    f"for {scenario}/{algorithm}"
+                )
+            baseline_version = next(iter(table.values())).version
+            target = self.registry.get(baseline_version.name, version)
+            if canary is None:
+                canary = self.fleet.instances[0].instance_id
+            instance = self.fleet.instance(canary)
+            baseline = table.get(canary)
+            held = baseline.version if baseline is not None else baseline_version
+            if held.fingerprint == target.fingerprint:
+                raise ConfigurationError(
+                    f"{canary} already serves {target.ref}; nothing to roll out"
+                )
+            # claim the rollout slot before releasing the lock, so the
+            # artifact pulls below cannot race a second begin(); the real
+            # rollback target is captured at swap time below
+            claim = _ActiveRollout(
+                target=target, canary_id=canary, policy=policy,
+                baseline=baseline if baseline is not None else next(iter(table.values())),
+                stage="staging",
+            )
+            self._rollouts[key] = claim
+        # pull + profile outside the lock: request handlers resolve their
+        # entry through it, and staging must not stall live traffic
+        try:
+            if baseline is None:
+                # the replica joined the fleet after deploy(): install the
+                # current baseline on it first so a rollback has a real
+                # deployment to restore
+                baseline = self._make_entry(instance, baseline_version)
+            moved = self._transfer_cost(target, held)
+            entry = self._make_entry(instance, target, canary=True)
+        except Exception:
+            with self._lock:  # release the claim; nothing was staged
+                if self._rollouts.get(key) is claim:
+                    del self._rollouts[key]
+            raise
+        with self._lock:
+            table = self._serving[key]
+            # rollback restores whatever the replica served at swap time
+            # (the freshly-built baseline for a replica that joined late)
+            claim.baseline = table.get(canary, baseline)
+            table[canary] = entry
+            claim.stage = "canary"
+            self.stats.canaries += 1
+            self.stats.bytes_transferred += moved
+            event = RolloutEvent(
+                kind="canary",
+                scenario=scenario,
+                algorithm=algorithm,
+                ref=target.ref,
+                instance_ids=(canary,),
+                transfer_bytes=moved,
+            )
+            self.events.append(event)
+        # judge the canary on its own observations, not its predecessor's
+        self.telemetry.reset(scenario, algorithm, canary)
+        return event
+
+    def step(self) -> List[RolloutEvent]:
+        """One control cycle over every in-flight canary."""
+        events: List[RolloutEvent] = []
+        with self._lock:
+            keys = [k for k, r in self._rollouts.items() if r.stage == "canary"]
+        for scenario, algorithm in keys:
+            event = self.check(scenario, algorithm)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def check(self, scenario: str, algorithm: str) -> Optional[RolloutEvent]:
+        """Evaluate one canary window; promote, roll back, or keep watching."""
+        key = (scenario, algorithm)
+        with self._lock:
+            active = self._rollouts.get(key)
+            if active is None or active.stage != "canary":
+                return None
+            if active.judging:
+                # another thread is judging this very window snapshot:
+                # counting it twice would promote on fewer distinct
+                # healthy windows than the policy demands
+                return None
+            active.judging = True
+            self.stats.checks += 1
+            policy = active.policy
+            canary_id = active.canary_id
+        try:
+            window = self.telemetry.window(scenario, algorithm, canary_id)
+            if window is None:
+                return None
+            violations = {
+                name: magnitude
+                for name, magnitude in window.violations(policy.requirement).items()
+                if window.count(_VIOLATION_AXES[name]) >= policy.min_samples
+            }
+            if violations:
+                return self._rollback(key, active, violations, window.count("latency_s"))
+            if window.count("latency_s") < policy.min_samples:
+                return None
+            with self._lock:
+                if active.stage != "canary":  # raced with an operator override
+                    return None
+                active.healthy_streak += 1
+                promote_now = active.healthy_streak >= policy.healthy_checks
+                if not promote_now:
+                    event = RolloutEvent(
+                        kind="healthy",
+                        scenario=scenario,
+                        algorithm=algorithm,
+                        ref=active.target.ref,
+                        instance_ids=(canary_id,),
+                        samples=window.count("latency_s"),
+                    )
+                    self.events.append(event)
+            if promote_now:
+                return self._promote(key, active)
+            # each healthy check must stand on a fresh window: clear so the
+            # next check cannot be satisfied by the samples just judged
+            self.telemetry.reset(scenario, algorithm, canary_id)
+            return event
+        finally:
+            active.judging = False
+
+    def promote(self, scenario: str, algorithm: str) -> RolloutEvent:
+        """Promote the in-flight canary fleet-wide immediately (operator override)."""
+        with self._lock:
+            active = self._require_active(scenario, algorithm)
+        return self._promote((scenario, algorithm), active)
+
+    def rollback(self, scenario: str, algorithm: str) -> RolloutEvent:
+        """Roll the in-flight canary back to the baseline (operator override)."""
+        with self._lock:
+            active = self._require_active(scenario, algorithm)
+        event = self._rollback((scenario, algorithm), active, {}, 0)
+        if event is None:  # lost a race with a concurrent transition
+            raise ResourceNotFoundError(
+                f"no rollout in flight for {scenario}/{algorithm}"
+            )
+        return event
+
+    def _require_active(self, scenario: str, algorithm: str) -> _ActiveRollout:
+        active = self._rollouts.get((scenario, algorithm))
+        if active is None or active.stage != "canary":
+            raise ResourceNotFoundError(
+                f"no rollout in flight for {scenario}/{algorithm}"
+            )
+        return active
+
+    def _promote(self, key: Tuple[str, str], active: _ActiveRollout) -> RolloutEvent:
+        scenario, algorithm = key
+        target = active.target
+        # claim the transition, then build the new entries outside the
+        # lock: request handlers resolve their entry through this lock,
+        # so N artifact pulls + profiling passes must not stall traffic
+        with self._lock:
+            if active.stage != "canary":
+                raise ResourceNotFoundError(
+                    f"no rollout in flight for {scenario}/{algorithm}"
+                )
+            active.stage = "promoting"
+            snapshot = dict(self._serving[key])
+        try:
+            fresh: Dict[str, ServingEntry] = {}
+            moved = 0
+            for instance in self.fleet:
+                held = snapshot.get(instance.instance_id)
+                if held is not None and held.version.fingerprint == target.fingerprint:
+                    continue
+                moved += self._transfer_cost(target, held.version if held else None)
+                fresh[instance.instance_id] = self._make_entry(instance, target)
+        except Exception:
+            with self._lock:
+                active.stage = "canary"  # failed mid-pull: canary keeps serving
+            raise
+        with self._lock:
+            table = self._serving[key]
+            table.update(fresh)
+            for entry in table.values():
+                entry.canary = False
+            active.stage = "promoted"
+            self.stats.promotions += 1
+            self.stats.bytes_transferred += moved
+            event = RolloutEvent(
+                kind="promote",
+                scenario=scenario,
+                algorithm=algorithm,
+                ref=target.ref,
+                instance_ids=tuple(sorted(table)),
+                transfer_bytes=moved,
+            )
+            self.events.append(event)
+        # the fleet-wide swap starts every replica on a fresh window, and
+        # the shared zoo now hands selection consumers the promoted build
+        self.telemetry.reset(scenario, algorithm)
+        self._refresh_zoo(target)
+        return event
+
+    def _rollback(
+        self,
+        key: Tuple[str, str],
+        active: _ActiveRollout,
+        violations: Dict[str, float],
+        samples: int,
+    ) -> Optional[RolloutEvent]:
+        scenario, algorithm = key
+        with self._lock:
+            if active.stage != "canary":  # raced with a concurrent transition
+                return None
+            baseline = active.baseline
+            baseline.canary = False
+            self._serving[key][active.canary_id] = baseline
+            active.stage = "rolled-back"
+            self.stats.rollbacks += 1
+            event = RolloutEvent(
+                kind="rollback",
+                scenario=scenario,
+                algorithm=algorithm,
+                ref=active.target.ref,
+                instance_ids=(active.canary_id,),
+                violations=violations,
+                samples=samples,
+            )
+            self.events.append(event)
+        self.telemetry.reset(scenario, algorithm, active.canary_id)
+        return event
+
+    # -- serving -----------------------------------------------------------------
+    def serving(self, scenario: str, algorithm: str) -> List[ServingEntry]:
+        """The current serving table (one entry per replica)."""
+        with self._lock:
+            table = self._serving.get((scenario, algorithm))
+            if not table:
+                raise ResourceNotFoundError(
+                    f"nothing deployed for {scenario}/{algorithm}"
+                )
+            return list(table.values())
+
+    def entry_for(self, openei: OpenEI, scenario: str, algorithm: str) -> ServingEntry:
+        """The entry serving one OpenEI instance (used inside handlers)."""
+        for instance in self.fleet:
+            if instance.openei is openei:
+                with self._lock:
+                    table = self._serving.get((scenario, algorithm), {})
+                    entry = table.get(instance.instance_id)
+                if entry is None:
+                    break
+                return entry
+        raise ResourceNotFoundError(
+            f"no rollout deployment of {scenario}/{algorithm} covers this instance"
+        )
+
+    def make_handler(self, scenario: str, algorithm: str):
+        """An :data:`~repro.core.openei.AlgorithmHandler` serving the
+        replica's current version and reporting ``observed_alem``.
+
+        The reported latency is the version's profiled latency on the
+        replica's device scaled by the runtime's emulated slowdown; the
+        reported accuracy is the version's published accuracy (so a
+        regressed build shows up in the canary window).  A ``payload``
+        argument matching the version's input shape is actually run
+        through the deployed model.
+        """
+
+        def handler(ei: OpenEI, args: Dict[str, object]) -> Dict[str, object]:
+            entry = self.entry_for(ei, scenario, algorithm)
+            result: Dict[str, object] = {
+                "model": entry.version.name,
+                "version": entry.version.ref,
+                "canary": entry.canary,
+                OBSERVED_ALEM_KEY: {
+                    "latency_s": entry.expected.latency_s * ei.runtime.slowdown,
+                    "accuracy": entry.expected.accuracy,
+                },
+            }
+            payload = args.get("payload")
+            if payload is not None:
+                inputs = np.asarray(payload, dtype=np.float64)
+                if inputs.shape == tuple(entry.version.input_shape):
+                    inputs = inputs[None, ...]
+                probabilities = entry.model.predict(inputs)
+                result["label"] = int(np.argmax(probabilities[0]))
+            return result
+
+        return handler
+
+    # -- reporting ---------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Controller status surfaced through the fleet's ``/ei_status``."""
+        with self._lock:
+            return {
+                **self.stats.as_dict(),
+                "serving": {
+                    f"{scenario}/{algorithm}": [e.as_dict() for e in table.values()]
+                    for (scenario, algorithm), table in sorted(self._serving.items())
+                },
+                "rollouts": {
+                    f"{scenario}/{algorithm}": {
+                        "target": active.target.ref,
+                        "canary": active.canary_id,
+                        "stage": active.stage,
+                        "healthy_streak": active.healthy_streak,
+                        "healthy_checks": active.policy.healthy_checks,
+                        "min_samples": active.policy.min_samples,
+                    }
+                    for (scenario, algorithm), active in sorted(self._rollouts.items())
+                },
+                "recent_events": [e.as_dict() for e in list(self.events)[-10:]],
+            }
