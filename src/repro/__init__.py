@@ -30,6 +30,10 @@ depends on:
 ``repro.data``
     Sensor simulators, the realtime/historical data store and workload
     generators.
+``repro.loadgen``
+    Open-loop, arrival-time-driven load generation: replayable traces
+    (diurnal curves, Poisson bursts), the tail-latency harness behind
+    ``BENCH_serving_tail.json``, and trace-scheduled fault injection.
 ``repro.apps``
     The four application scenarios: public safety, connected vehicles,
     smart home and connected health.

@@ -22,6 +22,7 @@ from repro.data.workloads import (
     appliance_power_workload,
     object_detection_workload,
     scenario_request_stream,
+    stream_fingerprint,
     trajectory_workload,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "appliance_power_workload",
     "object_detection_workload",
     "scenario_request_stream",
+    "stream_fingerprint",
     "trajectory_workload",
 ]

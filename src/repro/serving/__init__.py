@@ -71,6 +71,7 @@ from repro.serving.router import (
     make_router,
 )
 from repro.serving.server import LibEIServer
+from repro.serving.supervisor import GatewaySupervisor
 
 __all__ = [
     "ALEMTelemetry",
@@ -84,6 +85,7 @@ __all__ = [
     "EdgeFleet",
     "FleetGateway",
     "FleetInstance",
+    "GatewaySupervisor",
     "LeastLoadedRouter",
     "LibEIClient",
     "LibEIDispatcher",

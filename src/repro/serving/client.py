@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import APIError, ConfigurationError
@@ -38,7 +40,16 @@ def _normalize_addresses(address: Union[Address, Sequence[Address]]) -> List[Add
 
 
 class LibEIClient:
-    """HTTP client speaking the libei URL grammar, with replica failover."""
+    """HTTP client speaking the libei URL grammar, with replica failover.
+
+    The client is safe to share across threads: each :meth:`get` opens
+    its own connection, and ``_primary`` (the sticky last-good replica
+    index) is a single atomic int.  For open-loop load generation,
+    :meth:`submit` / :meth:`submit_algorithm` dispatch without blocking
+    the caller, on a lazily-built client-owned worker pool sized by
+    ``max_workers``; :meth:`close` (or the context-manager exit) tears
+    the pool down.
+    """
 
     def __init__(
         self,
@@ -46,14 +57,20 @@ class LibEIClient:
         timeout_s: float = 10.0,
         retries: int = 0,
         backoff_s: float = 0.0,
+        max_workers: int = 16,
     ) -> None:
         if retries < 0 or backoff_s < 0:
             raise ConfigurationError("retries and backoff_s must be non-negative")
+        if max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
         self.addresses = _normalize_addresses(address)
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self.max_workers = int(max_workers)
         self._primary = 0  # index of the replica that last answered
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     @property
     def base_url(self) -> str:
@@ -116,6 +133,45 @@ class LibEIClient:
         start = time.perf_counter()
         body = self.get(path)
         return body, time.perf_counter() - start
+
+    # -- non-blocking dispatch ----------------------------------------------------
+    def submit(self, path: str) -> "Future[Dict[str, object]]":
+        """Non-blocking :meth:`get`: dispatch on the worker pool, return a future.
+
+        The open-loop firing primitive for HTTP load generation — the
+        caller's schedule thread never waits on a response.  Failover
+        semantics are identical to :meth:`get` (the future raises
+        :class:`~repro.exceptions.APIError` when every replica fails).
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="libei-client"
+                )
+            pool = self._pool
+        return pool.submit(self.get, path)
+
+    def submit_algorithm(
+        self, scenario: str, algorithm: str, args: Optional[Dict[str, object]] = None
+    ) -> "Future[Dict[str, object]]":
+        """Non-blocking :meth:`call_algorithm` (see :meth:`submit`)."""
+        query = ""
+        if args:
+            query = "?" + urllib.parse.urlencode({k: v for k, v in args.items()})
+        return self.submit(f"/ei_algorithms/{scenario}/{algorithm}/{query}")
+
+    def close(self, wait: bool = True) -> None:
+        """Tear down the :meth:`submit` worker pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "LibEIClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- grammar helpers ----------------------------------------------------------
     def status(self) -> Dict[str, object]:

@@ -183,3 +183,39 @@ def test_scenario_stream_payloads_are_json_serializable():
         json.dumps(request.args)
         # payloads never leak into the URL path
         assert "payload" not in request.path
+
+
+def test_scenario_stream_same_seed_is_byte_identical():
+    """Regression for the determinism contract: two streams from the same
+    explicit seed must be byte-identical — including payload bytes — so a
+    recorded trace replays exactly by persisting only generator arguments."""
+    from repro.data import stream_fingerprint
+
+    first = list(scenario_request_stream(
+        requests_per_scenario=4, seed=123, include_payload=True
+    ))
+    second = list(scenario_request_stream(
+        requests_per_scenario=4, seed=123, include_payload=True
+    ))
+    assert stream_fingerprint(first) == stream_fingerprint(second)
+    assert [(r.scenario, r.algorithm, r.path) for r in first] == [
+        (r.scenario, r.algorithm, r.path) for r in second
+    ]
+    assert [r.args for r in first] == [r.args for r in second]
+
+
+def test_scenario_stream_different_seed_changes_payload_bytes():
+    from repro.data import stream_fingerprint
+
+    first = list(scenario_request_stream(
+        requests_per_scenario=4, seed=123, include_payload=True
+    ))
+    other = list(scenario_request_stream(
+        requests_per_scenario=4, seed=124, include_payload=True
+    ))
+    assert stream_fingerprint(first) != stream_fingerprint(other)
+
+
+def test_scenario_stream_rejects_non_int_seed():
+    with pytest.raises(ConfigurationError, match="explicit int"):
+        list(scenario_request_stream(requests_per_scenario=1, seed=1.5))

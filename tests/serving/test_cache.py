@@ -266,3 +266,79 @@ def test_model_selector_level_cache_hook(cached_openei):
     second = selector.select(candidates, cache=cache, cache_key=key)
     assert second is first
     assert cache.stats.hits == 1
+
+
+def test_selection_cache_ttl_expiry_with_injected_clock():
+    """SelectionCache-level TTL: an expired selection is a miss, not a stale hit."""
+    from repro.core.model_selector import SelectionResult
+
+    clock = FakeClock()
+    cache = SelectionCache(max_size=4, ttl_s=10.0, clock=clock)
+    key = SelectionCache.make_key(
+        "pi", "vision", ("a",), ALEMRequirement(), OptimizationTarget.LATENCY
+    )
+    result = SelectionResult(
+        selected=None, target=OptimizationTarget.LATENCY, requirement=ALEMRequirement()
+    )
+    cache.put(key, result)
+    clock.advance(9.0)
+    assert cache.get(key) is not None
+    clock.advance(2.0)  # the entry is now 11 s old: past the 10 s TTL
+    assert cache.get(key) is None
+    assert cache.stats.expirations == 1
+    assert len(cache) == 0
+    # re-populating after expiry works and restarts the clock
+    cache.put(key, result)
+    assert cache.get(key) is not None
+
+
+def test_remove_where_under_concurrent_get_put_invalidate():
+    """remove_where must stay consistent while readers and writers hammer
+    the same cache: no exceptions, no resurrected keys, exact accounting."""
+    import threading
+
+    cache = TTLLRUCache(max_size=64, ttl_s=None)
+    errors = []
+    removed_total = [0]
+    removed_lock = threading.Lock()
+    stop = threading.Event()
+
+    def is_doomed(key):
+        return key[1] % 2 == 0
+
+    def churn(seed: int) -> None:
+        try:
+            for n in range(600):
+                key = ("device", (seed + n) % 16)
+                cache.put(key, n)
+                cache.get(key)
+        except Exception as exc:  # noqa: BLE001 - any escape fails the test
+            errors.append(exc)
+        finally:
+            stop.set()  # first finished writer releases the invalidators
+
+    def invalidate() -> None:
+        try:
+            while not stop.is_set():
+                count = cache.remove_where(is_doomed)
+                with removed_lock:
+                    removed_total[0] += count
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    writers = [threading.Thread(target=churn, args=(i,)) for i in range(4)]
+    invalidators = [threading.Thread(target=invalidate) for _ in range(2)]
+    for thread in writers + invalidators:
+        thread.start()
+    for thread in writers + invalidators:
+        thread.join()
+    assert errors == []
+
+    # final sweep: whatever even keys the writers left behind go now, and
+    # the stats ledger matches every removal that ever happened
+    removed_total[0] += cache.remove_where(is_doomed)
+    survivors = [("device", i) for i in range(16) if ("device", i) in cache]
+    assert survivors and all(not is_doomed(key) for key in survivors)
+    assert cache.stats.invalidations == removed_total[0]
+    # odd keys survived the sweeps untouched by remove_where
+    assert len(cache) > 0

@@ -273,3 +273,48 @@ def test_historical_non_numeric_args_map_to_400(served_openei):
         '/ei_data/historical/camera1/{"start": null, "end": null}'
     )
     assert status == 200 and body["data"]["start"] == 0.0 and body["data"]["end"] is None
+
+
+class _ResettingHandler(BaseHTTPRequestHandler):
+    """Accepts the request, then aborts the TCP connection with an RST.
+
+    SO_LINGER with a zero timeout makes ``close()`` send a reset instead
+    of a FIN: the client sees ``ECONNRESET`` *mid-request* — a different
+    failure mode from connection-refused (no listener) and from a
+    truncated body (clean close after partial data).
+    """
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        del format, args
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        import socket
+        import struct
+
+        self.connection.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        self.connection.close()
+
+
+def test_client_connection_reset_mid_request_fails_over(served_openei):
+    quiet = type(
+        "QuietServer", (ThreadingHTTPServer,),
+        {"handle_error": lambda self, request, address: None},
+    )
+    resetting = quiet(("127.0.0.1", 0), _ResettingHandler)
+    thread = threading.Thread(target=resetting.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with LibEIServer(served_openei) as good:
+            client = LibEIClient([resetting.server_address, good.address], timeout_s=2.0)
+            assert client.status()["status"] == "ok"
+            # the client sticks with the replica that answered...
+            host, port = good.address
+            assert client.base_url == f"http://{host}:{port}"
+            # ...so the reset replica is not retried on the next call
+            assert client.call_algorithm("safety", "detection")["status"] == "ok"
+    finally:
+        resetting.shutdown()
+        thread.join(timeout=5.0)
+        resetting.server_close()
