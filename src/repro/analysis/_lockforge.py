@@ -1,0 +1,27 @@
+"""Lock allocation shim for lockwatch's own tests.
+
+:mod:`repro.analysis.lockwatch` only instruments locks allocated from
+files under ``repro/`` (so stdlib internals keep real locks).  Tests
+live under ``tests/``, so they allocate through these helpers to get
+watched instances with stable allocation sites.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Tuple
+
+
+def make_locks() -> Tuple[object, object]:
+    """Two locks with distinct allocation sites (graph nodes)."""
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    return lock_a, lock_b
+
+
+def make_rlock() -> object:
+    return threading.RLock()
+
+
+def make_condition() -> threading.Condition:
+    return threading.Condition()

@@ -117,9 +117,9 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._blobs: Dict[str, bytes] = {}
-        self._versions: Dict[str, List[ModelVersion]] = {}
-        self.stats = RegistryStats()
+        self._blobs: Dict[str, bytes] = {}  # guarded-by: _lock
+        self._versions: Dict[str, List[ModelVersion]] = {}  # guarded-by: _lock
+        self.stats = RegistryStats()  # guarded-by: _lock
 
     # -- publishing --------------------------------------------------------------
     def publish(

@@ -62,7 +62,7 @@ class FaultInjector:
         self.client = client
         self._send_malformed = send_malformed
         self._lock = threading.Lock()
-        self.applied: List[Dict[str, object]] = []
+        self.applied: List[Dict[str, object]] = []  # guarded-by: _lock
 
     # -- application -------------------------------------------------------------
     def apply(self, fault: FaultSpec) -> Dict[str, object]:

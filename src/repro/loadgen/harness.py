@@ -127,10 +127,10 @@ class _Recorder:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.overall = ScenarioStats()
-        self.scenarios: Dict[str, ScenarioStats] = {}
+        self.overall = ScenarioStats()  # guarded-by: _lock
+        self.scenarios: Dict[str, ScenarioStats] = {}  # guarded-by: _lock
 
-    def _bucket(self, scenario: str) -> ScenarioStats:
+    def _bucket(self, scenario: str) -> ScenarioStats:  # requires-lock: _lock
         stats = self.scenarios.get(scenario)
         if stats is None:
             stats = self.scenarios[scenario] = ScenarioStats()

@@ -80,7 +80,7 @@ class WorkspaceArena:
     def __init__(self) -> None:
         # outer dict: thread ident -> that thread's private buffer set;
         # the inner dict is only ever touched by its owning thread
-        self._buffers: Dict[int, Dict[Tuple, np.ndarray]] = {}
+        self._buffers: Dict[int, Dict[Tuple, np.ndarray]] = {}  # guarded-by: _register_lock
         self._register_lock = threading.Lock()
 
     def _local_buffers(self) -> Dict[Tuple, np.ndarray]:
@@ -764,7 +764,7 @@ class InferencePlan:
         self.fingerprint = model_fingerprint(model)
         self._steps, self.fused_count = _compile_steps(model)
         self._calls_lock = threading.Lock()
-        self.calls = 0
+        self.calls = 0  # guarded-by: _calls_lock
 
     # -- validity ----------------------------------------------------------
     def matches(self, model) -> bool:

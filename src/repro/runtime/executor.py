@@ -129,14 +129,14 @@ class ConcurrentExecutor:
         self.max_workers = int(max_workers)
         self.time_scale = float(time_scale)
         self._cond = threading.Condition()
-        self._pending: List[_Admission] = []
+        self._pending: List[_Admission] = []  # guarded-by: _cond
         self._sequence = itertools.count()
-        self._inflight = 0
-        self._running = False
+        self._inflight = 0  # guarded-by: _cond
+        self._running = False  # guarded-by: _cond
         self._workers: List[threading.Thread] = []
         self._epoch = time.monotonic()
-        self.completed: List[Task] = []
-        self.failed: List[Task] = []
+        self.completed: List[Task] = []  # guarded-by: _cond
+        self.failed: List[Task] = []  # guarded-by: _cond
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "ConcurrentExecutor":
@@ -163,10 +163,14 @@ class ConcurrentExecutor:
             self._running = False
             abandoned = self._pending
             self._pending = []
+            # the failed list is read by describe()/reporting from other
+            # threads, so the abandoned tasks are recorded under the lock;
+            # only the handle wake-ups happen outside it
+            for admission in abandoned:
+                admission.task.state = TaskState.FAILED
+                self.failed.append(admission.task)
             self._cond.notify_all()
         for admission in abandoned:
-            admission.task.state = TaskState.FAILED
-            self.failed.append(admission.task)
             admission.handle._finish(
                 error=SchedulingError("executor shut down before the task started")
             )
@@ -234,7 +238,7 @@ class ConcurrentExecutor:
         return True
 
     # -- worker ---------------------------------------------------------------
-    def _admit_next(self) -> Optional[_Admission]:
+    def _admit_next(self) -> Optional[_Admission]:  # requires-lock: _cond
         """Pop the head task once its memory reservation succeeds (holds the lock).
 
         Strict priority: only the head of the heap is considered.  While

@@ -206,19 +206,19 @@ class AdaptiveController:
         self.rl_episodes = int(rl_episodes)
         self.rl_seed = int(rl_seed)
         self.clock = clock
-        self.stats = ControllerStats()
-        self.events: Deque[ReselectionEvent] = deque(maxlen=max_events)
+        self.stats = ControllerStats()  # guarded-by: _lock
+        self.events: Deque[ReselectionEvent] = deque(maxlen=max_events)  # guarded-by: _lock
         self._lock = threading.RLock()
-        self._policies: Dict[Tuple[str, str], SLOPolicy] = {}
-        self._deployments: Dict[Tuple[str, str, str], ModelDeployment] = {}
-        self._last_action: Dict[Tuple[str, str, str], float] = {}
+        self._policies: Dict[Tuple[str, str], SLOPolicy] = {}  # guarded-by: _lock
+        self._deployments: Dict[Tuple[str, str, str], ModelDeployment] = {}  # guarded-by: _lock
+        self._last_action: Dict[Tuple[str, str, str], float] = {}  # guarded-by: _lock
         # measured-over-analytic latency factor per deployment key.  It is
         # learned from *edge* observations and deliberately persists while
         # a deployment is offloaded: cloud traffic says nothing about the
         # edge device, so the last known edge drift keeps gating failback
         # (otherwise a violated cloud deployment would flap straight back
         # onto the still-slowed edge).
-        self._calibration: Dict[Tuple[str, str, str], float] = {}
+        self._calibration: Dict[Tuple[str, str, str], float] = {}  # guarded-by: _lock
         # let the fleet surface this controller through /ei_status
         if hasattr(fleet, "adaptive"):
             fleet.adaptive = self
@@ -244,6 +244,7 @@ class AdaptiveController:
     def policy(self, scenario: str, algorithm: str) -> SLOPolicy:
         with self._lock:
             try:
+                # lint: ignore[mutable-return] SLOPolicy is a frozen dataclass — sharing it cannot leak mutable state
                 return self._policies[(scenario, algorithm)]
             except KeyError as exc:
                 raise ResourceNotFoundError(
@@ -284,7 +285,10 @@ class AdaptiveController:
     def deployment(self, scenario: str, algorithm: str, instance_id: str) -> ModelDeployment:
         with self._lock:
             try:
-                return self._deployments[(scenario, algorithm, instance_id)]
+                # a reselection installs a *new* ModelDeployment object, so
+                # handing out the live one would let callers mutate state a
+                # concurrent check() is reading — return a snapshot instead
+                return replace(self._deployments[(scenario, algorithm, instance_id)])
             except KeyError as exc:
                 raise ResourceNotFoundError(
                     f"no deployment for {scenario}/{algorithm} on {instance_id!r}"
@@ -422,7 +426,7 @@ class AdaptiveController:
             if window.count(_VIOLATION_AXES[name]) >= policy.min_samples
         }
 
-    def _reselect(
+    def _reselect(  # requires-lock: _lock (only called from check() inside the with block)
         self,
         policy: SLOPolicy,
         instance,

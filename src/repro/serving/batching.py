@@ -86,9 +86,9 @@ class _PendingCall:
     def __init__(self, args: Optional[Dict[str, object]]) -> None:
         self.args = args
         self.arrival = time.monotonic()
-        self.done = False
-        self.result: Optional[Dict[str, object]] = None
-        self.error: Optional[BaseException] = None
+        self.done = False  # guarded-by: cond
+        self.result: Optional[Dict[str, object]] = None  # guarded-by: cond
+        self.error: Optional[BaseException] = None  # guarded-by: cond
 
 
 class _AlgorithmQueue:
@@ -98,8 +98,8 @@ class _AlgorithmQueue:
 
     def __init__(self) -> None:
         self.cond = threading.Condition()
-        self.entries: List[_PendingCall] = []
-        self.leader: Optional[_PendingCall] = None
+        self.entries: List[_PendingCall] = []  # guarded-by: cond
+        self.leader: Optional[_PendingCall] = None  # guarded-by: cond
 
 
 class BatchingDispatcher:
@@ -115,9 +115,9 @@ class BatchingDispatcher:
     ) -> None:
         self.target = target
         self.config = config or BatchingConfig()
-        self.stats = BatchingStats()
+        self.stats = BatchingStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
-        self._queues: Dict[Tuple[str, str], _AlgorithmQueue] = {}
+        self._queues: Dict[Tuple[str, str], _AlgorithmQueue] = {}  # guarded-by: _queues_lock
         self._queues_lock = threading.Lock()
 
     # -- pass-through surface ---------------------------------------------------
@@ -211,8 +211,14 @@ class BatchingDispatcher:
             if entry.error is not None:
                 raise entry.error
             assert entry.result is not None
+            # lint: ignore[mutable-return] ownership transfer — each result is handed to exactly one caller and never read again
             return entry.result
-        # leader path: execute outside the lock, then distribute
+        # leader path: execute outside the lock, collect per-request
+        # outcomes, then distribute them *under* the condition — done /
+        # result / error are cond-guarded, and a follower that times out
+        # of wait() must never observe done=True with its result slot
+        # still being filled in
+        outcomes: List[Tuple[Optional[Dict[str, object]], Optional[BaseException]]]
         try:
             results = self._execute_batch(
                 scenario, name, [pending.args for pending in batch]
@@ -222,32 +228,36 @@ class BatchingDispatcher:
                     f"batch execution for {scenario}/{name} returned "
                     f"{len(results)} results for {len(batch)} requests"
                 )
-            for pending, result in zip(batch, results):
-                pending.result = result
-                pending.done = True
+            outcomes = [(result, None) for result in results]
         except BatchContractError as exc:
             # a broken batch handler must fail loudly, not be silently
             # papered over by per-request retries
-            for pending in batch:
-                pending.error = exc
-                pending.done = True
+            outcomes = [(None, exc) for _ in batch]
         except BaseException as exc:  # noqa: BLE001 - delivered per caller below
             if len(batch) == 1:
-                batch[0].error = exc
-                batch[0].done = True
+                outcomes = [(None, exc)]
             else:
                 # error isolation: one poisoned request must not fail its
                 # co-batched neighbors, so retry each request on its own —
                 # every caller gets exactly what the unbatched path gives
+                outcomes = []
                 for pending in batch:
                     try:
-                        pending.result = self.target.call_algorithm(
-                            scenario, name, pending.args
+                        outcomes.append(
+                            (
+                                self.target.call_algorithm(
+                                    scenario, name, pending.args
+                                ),
+                                None,
+                            )
                         )
                     except BaseException as single_exc:  # noqa: BLE001
-                        pending.error = single_exc
-                    pending.done = True
+                        outcomes.append((None, single_exc))
         with queue.cond:
+            for pending, (result, error) in zip(batch, outcomes):
+                pending.result = result
+                pending.error = error
+                pending.done = True
             queue.cond.notify_all()
         with self._stats_lock:
             self.stats.requests += len(batch)
@@ -260,4 +270,5 @@ class BatchingDispatcher:
         if entry.error is not None:
             raise entry.error
         assert entry.result is not None
+        # lint: ignore[mutable-return] ownership transfer — the leader's own result slot is read once, by itself
         return entry.result

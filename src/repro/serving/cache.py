@@ -86,9 +86,9 @@ class TTLLRUCache:
         self.max_size = int(max_size)
         self.ttl_s = float(ttl_s) if ttl_s is not None else None
         self.clock = clock
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _lock
         self._lock = threading.RLock()
-        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -254,6 +254,7 @@ class SelectionCache:
     @property
     def stats(self) -> CacheStats:
         """Shared hit/miss statistics."""
+        # lint: ignore[mutable-return] deliberate live view — callers read counters, snapshots go through as_dict()
         return self._cache.stats
 
     @property

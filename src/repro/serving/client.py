@@ -69,7 +69,7 @@ class LibEIClient:
         self.backoff_s = float(backoff_s)
         self.max_workers = int(max_workers)
         self._primary = 0  # index of the replica that last answered
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
 
     @property

@@ -41,7 +41,7 @@ class FleetInstance:
 
     instance_id: str
     openei: OpenEI
-    requests_served: int = field(default=0)
+    requests_served: int = field(default=0)  # guarded-by: _stats_lock
 
     @property
     def device_name(self) -> str:
@@ -93,7 +93,7 @@ class EdgeFleet:
         self._stats_lock = threading.Lock()
         # lazily-built worker pool behind submit_algorithm(); daemon
         # threads, so an un-shut-down pool cannot hang interpreter exit
-        self._dispatch_pool: Optional[ThreadPoolExecutor] = None
+        self._dispatch_pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _dispatch_lock
         self._dispatch_lock = threading.Lock()
 
     # -- construction -----------------------------------------------------------

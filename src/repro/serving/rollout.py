@@ -90,7 +90,7 @@ class ServingEntry:
     version: ModelVersion
     model: Sequential
     expected: ALEM
-    canary: bool = False
+    canary: bool = False  # guarded-by: _lock (flipped by the RolloutController)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -106,7 +106,8 @@ class ServingEntry:
 class RolloutEvent:
     """One state transition of a rollout."""
 
-    kind: str                    # "deploy" | "canary" | "healthy" | "promote" | "rollback"
+    kind: str                    # "deploy" | "canary" | "healthy" | "promote" |
+                                 # "rollback" | "canary-failed" | "promote-failed"
     scenario: str
     algorithm: str
     ref: str
@@ -114,6 +115,7 @@ class RolloutEvent:
     transfer_bytes: int = 0
     violations: Dict[str, float] = field(default_factory=dict)
     samples: int = 0
+    error: str = ""              # "<ExcType>: <message>" for *-failed events
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -125,6 +127,7 @@ class RolloutEvent:
             "transfer_bytes": self.transfer_bytes,
             "violations": dict(self.violations),
             "samples": self.samples,
+            "error": self.error,
         }
 
 
@@ -135,12 +138,12 @@ class _ActiveRollout:
     target: ModelVersion
     canary_id: str
     policy: RolloutPolicy
-    baseline: ServingEntry          # what the canary served before staging
-    healthy_streak: int = 0
-    stage: str = "canary"   # "staging" | "canary" | "promoting" | "promoted" | "rolled-back"
+    baseline: ServingEntry  # guarded-by: _lock (what the canary served before staging)
+    healthy_streak: int = 0  # guarded-by: _lock
+    stage: str = "canary"  # guarded-by: _lock ("staging" | "canary" | "promoting" | "promoted" | "rolled-back")
     #: True while one check() judges this canary's window — a concurrent
     #: check must not count the same window into healthy_streak twice.
-    judging: bool = False
+    judging: bool = False  # guarded-by: _lock
 
 
 @dataclass
@@ -152,6 +155,9 @@ class RolloutStats:
     checks: int = 0
     promotions: int = 0
     rollbacks: int = 0
+    #: staging or promotion attempts that died on an exception (the
+    #: exception is re-raised to the caller *and* recorded here)
+    failures: int = 0
     bytes_transferred: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -161,6 +167,7 @@ class RolloutStats:
             "checks": self.checks,
             "promotions": self.promotions,
             "rollbacks": self.rollbacks,
+            "failures": self.failures,
             "bytes_transferred": self.bytes_transferred,
         }
 
@@ -184,12 +191,12 @@ class RolloutController:
                 "or deploy the fleet with telemetry attached"
             )
         self.telemetry = telemetry
-        self.stats = RolloutStats()
-        self.events: Deque[RolloutEvent] = deque(maxlen=max_events)
+        self.stats = RolloutStats()  # guarded-by: _lock
+        self.events: Deque[RolloutEvent] = deque(maxlen=max_events)  # guarded-by: _lock
         self._lock = threading.RLock()
         # (scenario, algorithm) -> instance_id -> ServingEntry
-        self._serving: Dict[Tuple[str, str], Dict[str, ServingEntry]] = {}
-        self._rollouts: Dict[Tuple[str, str], _ActiveRollout] = {}
+        self._serving: Dict[Tuple[str, str], Dict[str, ServingEntry]] = {}  # guarded-by: _lock
+        self._rollouts: Dict[Tuple[str, str], _ActiveRollout] = {}  # guarded-by: _lock
         if hasattr(fleet, "rollout"):
             fleet.rollout = self
 
@@ -350,9 +357,23 @@ class RolloutController:
                 baseline = self._make_entry(instance, baseline_version)
             moved = self._transfer_cost(target, held)
             entry = self._make_entry(instance, target, canary=True)
-        except Exception:
-            with self._lock:  # release the claim; nothing was staged
-                if self._rollouts.get(key) is claim:
+        except Exception as exc:
+            # a failed staging must leave a trace operators can find:
+            # count it, log the canary-failed event, release the claim,
+            # and only then re-raise to the caller
+            with self._lock:
+                self.stats.failures += 1
+                self.events.append(
+                    RolloutEvent(
+                        kind="canary-failed",
+                        scenario=scenario,
+                        algorithm=algorithm,
+                        ref=target.ref,
+                        instance_ids=(canary,),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                if self._rollouts.get(key) is claim:  # release the claim; nothing was staged
                     del self._rollouts[key]
             raise
         with self._lock:
@@ -439,7 +460,10 @@ class RolloutController:
             self.telemetry.reset(scenario, algorithm, canary_id)
             return event
         finally:
-            active.judging = False
+            # the judging flag is lock-guarded state: writing it bare
+            # would race the "is someone already judging?" read above
+            with self._lock:
+                active.judging = False
 
     def promote(self, scenario: str, algorithm: str) -> RolloutEvent:
         """Promote the in-flight canary fleet-wide immediately (operator override)."""
@@ -488,9 +512,22 @@ class RolloutController:
                     continue
                 moved += self._transfer_cost(target, held.version if held else None)
                 fresh[instance.instance_id] = self._make_entry(instance, target)
-        except Exception:
+        except Exception as exc:
+            # failed mid-pull: the canary keeps serving, but the aborted
+            # promotion is counted and logged before the error propagates
             with self._lock:
-                active.stage = "canary"  # failed mid-pull: canary keeps serving
+                active.stage = "canary"
+                self.stats.failures += 1
+                self.events.append(
+                    RolloutEvent(
+                        kind="promote-failed",
+                        scenario=scenario,
+                        algorithm=algorithm,
+                        ref=target.ref,
+                        instance_ids=(active.canary_id,),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
             raise
         with self._lock:
             table = self._serving[key]

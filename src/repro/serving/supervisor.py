@@ -47,31 +47,41 @@ class GatewaySupervisor:
         self.host = host
         self.batching = batching
         self._lock = threading.RLock()
-        self._gateways: List[Optional[FleetGateway]] = []
+        self._gateways: List[Optional[FleetGateway]] = []  # guarded-by: _lock
+        # slot addresses are fixed at construction and never mutated, so
+        # reads need no lock; the *list* is copied before handing out
         self._addresses: List[Tuple[str, int]] = []
-        self.kills = 0
-        self.restarts = 0
+        #: slots whose replacement gateway is being bound outside the lock
+        self._restarting: set = set()  # guarded-by: _lock
+        self.kills = 0  # guarded-by: _lock
+        self.restarts = 0  # guarded-by: _lock
         for _ in range(gateways):
             gateway = FleetGateway(fleet, host=host, port=0, batching=batching)
             self._gateways.append(gateway)
             self._addresses.append(gateway.address)
 
     # -- lifecycle --------------------------------------------------------------
+    # start/stop/kill snapshot the slot table under the lock but do the
+    # actual socket work outside it: FleetGateway.start() binds a socket
+    # and stop() joins the server thread, and holding the registry lock
+    # across either stalls every concurrent health probe and address read
+    # behind network I/O.
+
     def start(self) -> "GatewaySupervisor":
         """Start every gateway that is not already serving."""
         with self._lock:
-            for gateway in self._gateways:
-                if gateway is not None:
-                    gateway.start()
+            alive = [g for g in self._gateways if g is not None]
+        for gateway in alive:
+            gateway.start()
         return self
 
     def stop(self) -> None:
         """Stop every gateway that is still alive (idempotent)."""
         with self._lock:
-            for index, gateway in enumerate(self._gateways):
-                if gateway is not None:
-                    gateway.stop()
-                    self._gateways[index] = None
+            doomed = [g for g in self._gateways if g is not None]
+            self._gateways = [None] * len(self._gateways)
+        for gateway in doomed:
+            gateway.stop()
 
     def __enter__(self) -> "GatewaySupervisor":
         return self.start()
@@ -123,10 +133,13 @@ class GatewaySupervisor:
             gateway = self._gateways[index]
             if gateway is None:
                 raise ResourceNotFoundError(f"gateway {index} is already down")
-            gateway.stop()
             self._gateways[index] = None
             self.kills += 1
-            return self._addresses[index]
+            address = self._addresses[index]
+        # the slot is already marked dead, so the thread join inside
+        # stop() happens without stalling other supervisor calls
+        gateway.stop()
+        return address
 
     def restart(self, index: int) -> FleetGateway:
         """Re-register a killed gateway on its original address.
@@ -140,9 +153,21 @@ class GatewaySupervisor:
             self._check_index(index)
             if self._gateways[index] is not None:
                 raise ConfigurationError(f"gateway {index} is already serving")
+            if index in self._restarting:
+                raise ConfigurationError(f"gateway {index} is already restarting")
+            # claim the slot so a concurrent restart cannot double-bind,
+            # then do the socket bind + server start outside the lock
+            self._restarting.add(index)
             host, port = self._addresses[index]
+        try:
             gateway = FleetGateway(self.fleet, host=host, port=port, batching=self.batching)
             gateway.start()
+        except BaseException:
+            with self._lock:
+                self._restarting.discard(index)
+            raise
+        with self._lock:
+            self._restarting.discard(index)
             self._gateways[index] = gateway
             self.restarts += 1
             return gateway

@@ -127,7 +127,7 @@ class ALEMTelemetry:
             raise ConfigurationError("telemetry window_size must be positive")
         self.window_size = int(window_size)
         self._lock = threading.Lock()
-        self._windows: Dict[TelemetryKey, TelemetryWindow] = {}
+        self._windows: Dict[TelemetryKey, TelemetryWindow] = {}  # guarded-by: _lock
 
     def record(
         self,

@@ -1,0 +1,24 @@
+"""Golden fixture: malformed suppressions are themselves findings.
+
+No EXPECT markers here — a trailing marker would become the
+suppression's "reason" and defeat the case; the expectations live in
+tests/analysis/test_lint_rules.py.
+"""
+
+
+def unknown_rule(value):
+    # lint: ignore[no-such-rule] the rule id is a typo
+    return value
+
+
+def missing_reason(items=[]):  # lint: ignore[mutable-default-arg]
+    return items
+
+
+def empty_rules(value):
+    # lint: ignore[] forgot to name the rule
+    return value
+
+
+def good_suppression(items=[]):  # lint: ignore[mutable-default-arg] fixture needs the shared default
+    return items

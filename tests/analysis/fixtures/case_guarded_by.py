@@ -1,0 +1,43 @@
+"""Golden fixture: the guarded-by rule.
+
+Trailing EXPECT markers name the rule the linter must report on that
+exact line; every unmarked line must stay clean.
+"""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # guarded-by: _lock
+        self.count = 0  # guarded-by: _lock
+
+    def good_append(self, item):
+        with self._lock:
+            self.items.append(item)
+            self.count += 1
+
+    def good_other_base(self, other):
+        with other._lock:
+            other.items.append("ok")
+
+    def bad_append(self, item):
+        self.items.append(item)  # EXPECT[guarded-by]
+
+    def bad_assign(self):
+        self.count = 0  # EXPECT[guarded-by]
+
+    def bad_del(self, index):
+        del self.items[index]  # EXPECT[guarded-by]
+
+    def suppressed_append(self, item):
+        # lint: ignore[guarded-by] construction-time call, no other thread sees the tracker yet
+        self.items.append(item)
+
+    def _locked_helper(self):  # requires-lock: _lock
+        self.count += 1
+
+    def good_caller(self):
+        with self._lock:
+            self._locked_helper()

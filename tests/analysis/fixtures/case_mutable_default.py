@@ -1,0 +1,33 @@
+"""Golden fixture: the mutable-default-arg rule."""
+
+
+def bad_list(items=[]):  # EXPECT[mutable-default-arg]
+    return items
+
+
+def bad_dict(mapping={}):  # EXPECT[mutable-default-arg]
+    return mapping
+
+
+def bad_constructor(seen=set()):  # EXPECT[mutable-default-arg]
+    return seen
+
+
+def bad_keyword_only(*, buckets=dict()):  # EXPECT[mutable-default-arg]
+    return buckets
+
+
+def good_none(items=None):
+    return list(items) if items is not None else []
+
+
+def good_tuple(items=()):
+    return items
+
+
+def good_scalar(count=0, name="x"):
+    return count, name
+
+
+def suppressed_cache(cache={}):  # lint: ignore[mutable-default-arg] deliberate cross-call memo table
+    return cache

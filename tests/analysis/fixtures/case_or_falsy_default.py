@@ -1,0 +1,47 @@
+"""Golden fixture: the or-falsy-default rule (the ``zoo or ModelZoo()`` bug)."""
+
+
+class Registry:
+    """A container: empty instances are falsy because of ``__len__``."""
+
+    def __init__(self):
+        self._models = {}
+
+    def __len__(self):
+        return len(self._models)
+
+
+class Plain:
+    """No ``__len__`` — instances are always truthy, ``or`` is safe."""
+
+
+def bad_default(registry):
+    return registry or Registry()  # EXPECT[or-falsy-default]
+
+
+def bad_known_class(zoo):
+    return zoo or ModelZoo()  # EXPECT[or-falsy-default]
+
+
+def good_identity_check(registry):
+    return registry if registry is not None else Registry()
+
+
+def good_truthy_class(plain):
+    return plain or Plain()
+
+
+def good_literal(mapping):
+    return dict(mapping or {})
+
+
+def suppressed_default(registry):
+    # lint: ignore[or-falsy-default] caller contract guarantees a non-empty registry
+    return registry or Registry()
+
+
+class ModelZoo:
+    """Stands in for the repo class baked into DEFAULT_LEN_CLASSES."""
+
+    def __len__(self):
+        return 0

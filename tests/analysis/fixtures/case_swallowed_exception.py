@@ -1,0 +1,59 @@
+"""Golden fixture: the swallowed-exception rule."""
+
+
+def bad_swallow(fn):
+    try:
+        fn()
+    except Exception:  # EXPECT[swallowed-exception]
+        pass
+
+
+def bad_bare(fn):
+    for _ in range(3):
+        try:
+            fn()
+        except:  # noqa: E722  EXPECT[swallowed-exception]
+            continue
+
+
+def good_reraise(fn):
+    try:
+        fn()
+    except Exception:
+        raise
+
+
+def good_log(fn, log):
+    try:
+        fn()
+    except Exception as exc:
+        log.warning("call failed: %s", exc)
+
+
+def good_record(fn, failures):
+    try:
+        fn()
+    except Exception as exc:
+        failures.append(exc)
+
+
+def good_narrow(fn):
+    try:
+        fn()
+    except ValueError:
+        pass
+
+
+def good_return(fn, fallback):
+    try:
+        return fn()
+    except Exception:
+        return fallback
+
+
+def suppressed_swallow(fn):
+    try:
+        fn()
+    # lint: ignore[swallowed-exception] best-effort cleanup hook, failures are intentionally invisible
+    except Exception:
+        pass

@@ -1,0 +1,26 @@
+"""Serving-suite conftest: opt-in runtime lock watching.
+
+``REPRO_LOCKWATCH=1`` wraps every test in this directory — including
+the chaos suite — in :mod:`repro.analysis.lockwatch` instrumentation:
+locks allocated by repro code during the test are recorded into a
+lock-order graph, and the test fails on an acquisition cycle (potential
+deadlock) or on a hold span over the ``REPRO_LOCKWATCH_BUDGET_S``
+budget (default 1s).  CI runs the serving subset both ways; plain local
+runs pay zero overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lockwatch
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch_guard():
+    if not lockwatch.enabled_from_env():
+        yield
+        return
+    with lockwatch.watched(budget_s=lockwatch.budget_from_env()) as watch:
+        yield
+    watch.assert_clean()

@@ -366,3 +366,65 @@ def test_handler_runs_payload_through_the_deployed_version():
     expected = registry.pull(MODEL, 1).predict(np.asarray([payload]))
     assert result["label"] == int(np.argmax(expected[0]))
     assert result["version"] == f"{MODEL}@1"
+
+
+def test_failed_canary_staging_is_recorded_and_releases_the_claim():
+    """A staging failure must leave an operator trail — a counted
+    failure plus a canary-failed event carrying the error — and release
+    the rollout claim so a fixed begin() can proceed."""
+    registry, fleet, controller = _deploy_fleet()
+    _publish(registry, accuracy=0.93, scale=1.01, base=f"{MODEL}@1")
+    original_make_entry = controller._make_entry
+
+    def exploding_make_entry(*args, **kwargs):
+        raise RuntimeError("artifact pull interrupted")
+
+    controller._make_entry = exploding_make_entry
+    with pytest.raises(RuntimeError, match="artifact pull interrupted"):
+        controller.begin(SCENARIO, ALGORITHM, policy=_policy())
+    assert controller.stats.failures == 1
+    event = controller.events[-1]
+    assert event.kind == "canary-failed"
+    assert event.ref == f"{MODEL}@2"
+    assert "RuntimeError: artifact pull interrupted" in event.error
+    assert len(event.instance_ids) == 1
+
+    # the claim is gone: a healthy retry stages normally
+    controller._make_entry = original_make_entry
+    retry = controller.begin(SCENARIO, ALGORITHM, policy=_policy())
+    assert retry.kind == "canary"
+
+
+def test_failed_promotion_is_recorded_and_keeps_the_canary_serving():
+    """A promotion that dies mid-pull must count the failure, log a
+    promote-failed event naming the canary, and restore the rollout to
+    the canary stage so the canary keeps serving and a retry works."""
+    registry, fleet, controller = _deploy_fleet()
+    _publish(registry, accuracy=0.93, scale=1.01, base=f"{MODEL}@1")
+    begin_event = controller.begin(SCENARIO, ALGORITHM, policy=_policy())
+    canary_id = begin_event.instance_ids[0]
+    original_make_entry = controller._make_entry
+
+    def exploding_make_entry(*args, **kwargs):
+        raise RuntimeError("device rejected the artifact")
+
+    controller._make_entry = exploding_make_entry
+    with pytest.raises(RuntimeError, match="device rejected the artifact"):
+        controller.promote(SCENARIO, ALGORITHM)
+    assert controller.stats.failures == 1
+    event = controller.events[-1]
+    assert event.kind == "promote-failed"
+    assert event.instance_ids == (canary_id,)
+    assert "RuntimeError: device rejected the artifact" in event.error
+
+    # the rollout is back in the canary stage: the canary still serves
+    # the target version and a retried promote succeeds
+    versions = {e.instance_id: e.version.ref
+                for e in controller.serving(SCENARIO, ALGORITHM)}
+    assert versions[canary_id] == f"{MODEL}@2"
+    controller._make_entry = original_make_entry
+    promoted = controller.promote(SCENARIO, ALGORITHM)
+    assert promoted.kind == "promote"
+    versions = {e.instance_id: e.version.ref
+                for e in controller.serving(SCENARIO, ALGORITHM)}
+    assert all(ref == f"{MODEL}@2" for ref in versions.values())
