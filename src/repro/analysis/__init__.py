@@ -1,10 +1,18 @@
-"""Repo-specific correctness tooling: static lint + runtime lock watcher.
+"""Repo-specific correctness tooling: static lint, interprocedural
+analysis, shape checking, and a runtime lock watcher.
 
-Two halves (full docs: docs/STATIC_ANALYSIS.md):
+Four parts (full docs: docs/STATIC_ANALYSIS.md):
 
 * :mod:`repro.analysis.lint` — an AST lint pass whose rules encode the
   concurrency and serving contracts this codebase has broken before
   (``python -m repro.analysis.lint src --strict`` is the CI gate).
+* :mod:`repro.analysis.callgraph` + :mod:`repro.analysis.interproc` —
+  a project-wide symbol table / call graph and the interprocedural
+  rules that run over it (transitive blocking-under-lock, requires-lock
+  propagation, guarded-container escape analysis).
+* :mod:`repro.analysis.shapes` — an abstract interpreter over layer
+  configs that infers output shapes/dtypes through a ``Sequential``;
+  wired into ``ModelRegistry.publish`` and rollout deploys as a gate.
 * :mod:`repro.analysis.lockwatch` — instrumented lock factories that
   build a runtime lock-order graph and fail tests on cycles or
   over-budget hold spans (enable with ``REPRO_LOCKWATCH=1``).
@@ -21,12 +29,22 @@ _EXPORTS = {
     "Severity": "repro.analysis.findings",
     "Suppression": "repro.analysis.findings",
     "LintReport": "repro.analysis.lint",
+    "load_baseline": "repro.analysis.lint",
     "run_lint": "repro.analysis.lint",
+    "write_baseline": "repro.analysis.lint",
+    "ProjectIndex": "repro.analysis.callgraph",
+    "build_index": "repro.analysis.callgraph",
+    "run_interproc": "repro.analysis.interproc",
+    "ShapeReport": "repro.analysis.shapes",
+    "TensorSpec": "repro.analysis.shapes",
+    "check_model": "repro.analysis.shapes",
+    "validate_model": "repro.analysis.shapes",
     "LockWatch": "repro.analysis.lockwatch",
     "budget_from_env": "repro.analysis.lockwatch",
     "enabled_from_env": "repro.analysis.lockwatch",
     "watched": "repro.analysis.lockwatch",
     "ALL_RULES": "repro.analysis.rules",
+    "INTERPROC_RULE_IDS": "repro.analysis.rules",
     "KNOWN_RULE_IDS": "repro.analysis.rules",
     "LintContext": "repro.analysis.rules",
 }

@@ -4,11 +4,12 @@ The linter's concurrency rules are driven by lightweight annotations in
 ordinary comments, so the contracts live next to the state they protect
 and survive refactors that move code between files:
 
-``# guarded-by: <lock>``
+``# guarded-by: <lock>[, <lock> ...]``
     Trailing comment on an attribute's declaration (an ``self.x = ...``
     assignment in ``__init__`` or a dataclass field line).  Declares that
     the attribute may only be *mutated* inside a ``with <...>.<lock>:``
-    block.  The lock is named by its attribute name, so ``_lock`` matches
+    block; when several locks are named, holding *any one* of them makes
+    the mutation legal.  The lock is named by its attribute name, so ``_lock`` matches
     ``with self._lock:`` as well as ``with queue._lock:`` — guarded state
     and its lock do not need to live on the same object (the batching
     queues guard their entries with a per-queue condition).
@@ -36,8 +37,13 @@ from typing import Dict, List, Tuple
 
 from repro.analysis.findings import Suppression
 
-GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
-REQUIRES_LOCK_RE = re.compile(r"#\s*requires-lock:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+_LOCK_LIST = r"(?P<locks>[A-Za-z_][A-Za-z0-9_]*(?:\s*,\s*[A-Za-z_][A-Za-z0-9_]*)*)"
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*" + _LOCK_LIST)
+REQUIRES_LOCK_RE = re.compile(r"#\s*requires-lock:\s*" + _LOCK_LIST)
+
+
+def _lock_names(match: "re.Match") -> Tuple[str, ...]:
+    return tuple(name.strip() for name in match.group("locks").split(","))
 SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*ignore\[(?P<rules>[^\]]*)\](?P<reason>.*)$"
 )
@@ -49,10 +55,14 @@ class CommentMap:
 
     #: line -> full comment text (including the leading ``#``)
     comments: Dict[int, str] = field(default_factory=dict)
-    #: line -> lock name for ``# guarded-by:`` comments
-    guarded_by: Dict[int, str] = field(default_factory=dict)
-    #: line -> lock name for ``# requires-lock:`` comments
-    requires_lock: Dict[int, str] = field(default_factory=dict)
+    #: line -> lock names for ``# guarded-by:`` comments.  Several locks
+    #: may be named (comma-separated): the attribute is safe to mutate
+    #: while holding *any* of them (e.g. a stats counter written under
+    #: either the queue condition or the flush lock).
+    guarded_by: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: line -> lock names for ``# requires-lock:`` comments (all of the
+    #: named locks are asserted held by the caller)
+    requires_lock: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
     #: lines that hold only a comment (no code) — standalone suppressions
     #: on these lines apply to the next code line
     standalone: Dict[int, bool] = field(default_factory=dict)
@@ -73,10 +83,10 @@ def scan_comments(source: str) -> CommentMap:
             result.comments[line] = token.string
             guarded = GUARDED_BY_RE.search(token.string)
             if guarded:
-                result.guarded_by[line] = guarded.group("lock")
+                result.guarded_by[line] = _lock_names(guarded)
             requires = REQUIRES_LOCK_RE.search(token.string)
             if requires:
-                result.requires_lock[line] = requires.group("lock")
+                result.requires_lock[line] = _lock_names(requires)
         elif token.type not in (
             tokenize.NL,
             tokenize.NEWLINE,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 class Severity(enum.Enum):
@@ -41,12 +41,17 @@ class Finding:
     severity: Severity
     message: str
     hint: str = ""
+    #: interprocedural witness: one ``qualname (path:line)`` entry per call
+    #: frame, outermost first, ending at the offending statement
+    chain: Tuple[str, ...] = ()
 
     def render(self) -> str:
         """The one-line ``path:line:col: severity[rule] message`` form."""
         text = f"{self.path}:{self.line}:{self.col}: {self.severity.value}[{self.rule}] {self.message}"
         if self.hint:
             text += f"  (hint: {self.hint})"
+        if self.chain:
+            text += "\n    call chain: " + " -> ".join(self.chain)
         return text
 
     def as_dict(self) -> Dict[str, object]:
@@ -58,7 +63,14 @@ class Finding:
             "severity": self.severity.value,
             "message": self.message,
             "hint": self.hint,
+            "chain": list(self.chain),
         }
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used by the baseline file: line numbers drift with
+        unrelated edits, so a grandfathered finding is keyed by what it
+        says, not where it currently sits."""
+        return (self.path, self.rule, self.message)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,464 @@
+"""Interprocedural lock-contract rules (pass 2 over the call graph).
+
+Three rules run over the :class:`~repro.analysis.callgraph.ProjectIndex`
+that pass 1 built; each exists because its intraprocedural twin has a
+blind spot one helper call deep:
+
+``transitive-blocking-under-lock``
+    A call made while holding a lock reaches a blocking terminal
+    (``time.sleep``, ``urlopen``, a zero-arg ``.join()``, ...) through
+    one or more project functions.  The intraprocedural
+    ``blocking-under-lock`` rule only sees blocking calls written
+    directly inside the ``with`` block; this rule follows the call graph
+    up to :data:`MAX_CHAIN_DEPTH` frames and attaches the full call
+    chain to the finding as a witness.
+
+``requires-lock-not-held``
+    A call site reaches a function whose ``# requires-lock:`` contract
+    (declared, or inherited transitively from *its* callees) names a
+    lock that is not statically held at the site and is not part of the
+    calling function's own contract.  PR 7 used ``requires-lock`` only
+    to mark locks held *inside* the annotated body; nothing checked the
+    callers.
+
+``guarded-escape``
+    A method returns a ``# guarded-by:`` container by reference —
+    through a local alias (``entries = self._entries; return entries``)
+    or transitively through another method's return value.  The
+    intraprocedural ``mutable-return`` rule only catches the literal
+    ``return self._entries`` spelling in the declaring module.
+
+Suppressions are honored at *any* frame: a ``# lint: ignore[...]``
+naming the interprocedural rule (or its intraprocedural twin) on an
+inner call/return line stops propagation through that frame, exactly as
+if the edge did not exist.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallSite, FunctionInfo, ProjectIndex
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import BlockingUnderLockRule
+
+#: Longest call chain followed (frames, including the blocking frame).
+#: Deep enough for every real finding this repo has seen; bounded so a
+#: recursive helper cannot make the witness — or the analysis — unbounded.
+MAX_CHAIN_DEPTH = 8
+
+RULE_TRANSITIVE_BLOCKING = "transitive-blocking-under-lock"
+RULE_REQUIRES_NOT_HELD = "requires-lock-not-held"
+RULE_GUARDED_ESCAPE = "guarded-escape"
+
+#: Constructors that copy their argument: assigning/returning through one
+#: of these launders a guarded container into a caller-owned object.
+COPYING_CALLS = frozenset(
+    {"list", "dict", "set", "tuple", "frozenset", "sorted", "deepcopy", "copy", "replace"}
+)
+
+_blocking_rule = BlockingUnderLockRule()
+
+
+def _walk_own_body(func_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested ``def``s —
+    a nested function runs later, on whatever stack calls it, so its
+    calls are not part of the enclosing function's execution."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func_node))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _frame(info: FunctionInfo, line: int) -> str:
+    return f"{info.qualname} ({info.path}:{line})"
+
+
+def _suppressed(index: ProjectIndex, info: FunctionInfo, line: int, rules: Tuple[str, ...]) -> bool:
+    """True when any suppression on ``line`` of the function's module
+    names one of ``rules`` (with a reason — reason-less ones don't count)."""
+    mod = index.modules.get(info.module)
+    if mod is None:
+        return False
+    for sup in mod.comments.suppressions:
+        if sup.line == line and sup.reason and any(rule in sup.rules for rule in rules):
+            return True
+    return False
+
+
+# --------------------------------------------------------------- blocking
+
+
+@dataclass
+class _BlockingSummary:
+    """Shortest witnessed path from a function to a blocking terminal."""
+
+    depth: int
+    reason: str
+    #: frames from the function's own blocking/forwarding line inward
+    chain: Tuple[str, ...]
+
+
+def _blocking_summaries(index: ProjectIndex) -> Dict[str, _BlockingSummary]:
+    """Fixpoint over the call graph: which functions (transitively) block.
+
+    Depth 1 means the function itself contains a blocking call; depth n
+    means the terminal is n-1 calls away.  Propagation stops at
+    :data:`MAX_CHAIN_DEPTH` and at suppressed frames.
+    """
+    suppress_rules = (RULE_TRANSITIVE_BLOCKING, "blocking-under-lock")
+    summaries: Dict[str, _BlockingSummary] = {}
+    for qualname, info in index.functions.items():
+        best: Optional[Tuple[str, int]] = None
+        for node in _walk_own_body(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = _blocking_rule._blocking_reason(node)
+            if reason is None:
+                continue
+            if _suppressed(index, info, node.lineno, suppress_rules):
+                continue
+            if best is None or node.lineno < best[1]:
+                best = (reason, node.lineno)
+        if best is not None:
+            summaries[qualname] = _BlockingSummary(
+                depth=1, reason=best[0], chain=(_frame(info, best[1]),)
+            )
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname, info in index.functions.items():
+            for site in info.calls:
+                if site.callee is None or site.callee == qualname:
+                    continue
+                callee = summaries.get(site.callee)
+                if callee is None or callee.depth >= MAX_CHAIN_DEPTH:
+                    continue
+                if _suppressed(index, info, site.line, suppress_rules):
+                    continue
+                candidate = _BlockingSummary(
+                    depth=callee.depth + 1,
+                    reason=callee.reason,
+                    chain=(_frame(info, site.line),) + callee.chain,
+                )
+                current = summaries.get(qualname)
+                if current is None or candidate.depth < current.depth:
+                    summaries[qualname] = candidate
+                    changed = True
+    return summaries
+
+
+def _check_transitive_blocking(index: ProjectIndex) -> Iterator[Finding]:
+    summaries = _blocking_summaries(index)
+    for info in index.functions.values():
+        for site in info.calls:
+            if site.callee is None or not site.held:
+                continue
+            callee = summaries.get(site.callee)
+            if callee is None:
+                continue
+            if _blocking_rule._blocking_reason(site.node) is not None:
+                continue  # the site itself blocks: intraprocedural territory
+            locks = ", ".join(sorted(site.held))
+            callee_info = index.functions[site.callee]
+            yield Finding(
+                path=info.path,
+                line=site.line,
+                col=site.node.col_offset + 1,
+                rule=RULE_TRANSITIVE_BLOCKING,
+                severity=Severity.ERROR,
+                message=(
+                    f"call to '{callee_info.qualname}' reaches {callee.reason} "
+                    f"({callee.depth} frame(s) deep) while holding {locks}"
+                ),
+                hint="release the lock before the call, or hoist the blocking "
+                "work out of the callee",
+                chain=(_frame(info, site.line),) + callee.chain,
+            )
+
+
+# ---------------------------------------------------------- requires-lock
+
+
+def _needed_locks(index: ProjectIndex) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+    """Fixpoint: lock -> witness chain of locks each function needs held.
+
+    A function needs a lock if its own ``# requires-lock:`` contract
+    names it, or if it calls — without holding the lock — a function
+    that needs it.  The witness chain runs from the function's own call
+    line to the frame that declares the contract.
+    """
+    needs: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+    for qualname, info in index.functions.items():
+        if info.requires:
+            needs[qualname] = {
+                lock: (_frame(info, info.node.lineno),) for lock in info.requires
+            }
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname, info in index.functions.items():
+            mine = needs.setdefault(qualname, {})
+            for site in info.calls:
+                if site.callee is None or site.callee == qualname:
+                    continue
+                for lock, chain in needs.get(site.callee, {}).items():
+                    if lock in site.held or lock in info.requires or lock in mine:
+                        continue
+                    if len(chain) >= MAX_CHAIN_DEPTH:
+                        continue
+                    if _suppressed(index, info, site.line, (RULE_REQUIRES_NOT_HELD,)):
+                        continue
+                    mine[lock] = (_frame(info, site.line),) + chain
+                    changed = True
+    return needs
+
+
+def _check_requires_lock(index: ProjectIndex) -> Iterator[Finding]:
+    needs = _needed_locks(index)
+    for info in index.functions.values():
+        for site in info.calls:
+            if site.callee is None or site.callee == info.qualname:
+                continue
+            callee_info = index.functions[site.callee]
+            for lock, chain in needs.get(site.callee, {}).items():
+                if lock in site.held or lock in info.requires:
+                    continue
+                declared = lock in callee_info.requires
+                origin = "declares" if declared else "transitively needs"
+                yield Finding(
+                    path=info.path,
+                    line=site.line,
+                    col=site.node.col_offset + 1,
+                    rule=RULE_REQUIRES_NOT_HELD,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"call to '{callee_info.qualname}', which {origin} "
+                        f"'# requires-lock: {lock}', without holding '{lock}'"
+                    ),
+                    hint=f"acquire 'with ...{lock}:' around the call, or mark "
+                    f"the calling function '# requires-lock: {lock}'",
+                    chain=(_frame(info, site.line),) + chain,
+                )
+
+
+# --------------------------------------------------------------- escapes
+
+
+def _is_copying(node: ast.AST) -> bool:
+    """``list(x)``, ``dict(x)``, ``x.copy()``, ``deepcopy(x)`` — the
+    result is caller-owned, not the guarded container itself."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in COPYING_CALLS
+    if isinstance(func, ast.Attribute):
+        return func.attr in COPYING_CALLS
+    return False
+
+
+@dataclass
+class _Escape:
+    """One guarded attribute escaping from a method's return value."""
+
+    attr: str
+    line: int
+    col: int
+    via: str  # "direct" | "alias" | "call"
+    chain: Tuple[str, ...]
+
+
+def _direct_escapes(
+    index: ProjectIndex, info: FunctionInfo, guarded: Dict[str, Tuple[str, ...]]
+) -> List[_Escape]:
+    """Aliased and literal returns of guarded attributes in one method."""
+    escapes: List[_Escape] = []
+    # _walk_own_body is a stack walk, not source order; the alias map is
+    # flow-sensitive in line order (a rebind kills the alias), so sort
+    assigns = sorted(
+        (
+            node
+            for node in _walk_own_body(info.node)
+            if isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ),
+        key=lambda node: (node.lineno, node.col_offset),
+    )
+    returns = sorted(
+        (
+            node
+            for node in _walk_own_body(info.node)
+            if isinstance(node, ast.Return) and node.value is not None
+        ),
+        key=lambda node: (node.lineno, node.col_offset),
+    )
+    for ret in returns:
+        aliases: Dict[str, str] = {}
+        for node in assigns:
+            if node.lineno >= ret.lineno:
+                break
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and value.attr in guarded
+            ):
+                aliases[target.id] = value.attr
+            elif target.id in aliases:
+                del aliases[target.id]  # rebound to something else
+        value = ret.value
+        if isinstance(value, ast.Subscript):
+            value = value.value
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and value.attr in guarded
+        ):
+            escapes.append(
+                _Escape(
+                    attr=value.attr,
+                    line=ret.lineno,
+                    col=ret.col_offset + 1,
+                    via="direct",
+                    chain=(_frame(info, ret.lineno),),
+                )
+            )
+        elif isinstance(value, ast.Name) and value.id in aliases:
+            escapes.append(
+                _Escape(
+                    attr=aliases[value.id],
+                    line=ret.lineno,
+                    col=ret.col_offset + 1,
+                    via="alias",
+                    chain=(_frame(info, ret.lineno),),
+                )
+            )
+    return [
+        esc
+        for esc in escapes
+        if not _suppressed(
+            index, info, esc.line, (RULE_GUARDED_ESCAPE, "mutable-return")
+        )
+    ]
+
+
+def _escape_summaries(index: ProjectIndex) -> Dict[str, List[_Escape]]:
+    """Per-method escapes, propagated through ``return self.getter()``."""
+    summaries: Dict[str, List[_Escape]] = {}
+    guarded_by_class: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+    for cls_qualname in index.classes:
+        guarded_by_class[cls_qualname] = index.guarded_for_class(cls_qualname)
+
+    for qualname, info in index.functions.items():
+        if info.class_name is None:
+            continue
+        guarded = guarded_by_class.get(f"{info.module}.{info.class_name}", {})
+        if guarded:
+            summaries[qualname] = _direct_escapes(index, info, guarded)
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname, info in index.functions.items():
+            if info.class_name is None:
+                continue
+            mine = summaries.setdefault(qualname, [])
+            known = {(esc.attr, esc.line) for esc in mine}
+            for node in _walk_own_body(info.node):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Call) or _is_copying(value):
+                    continue
+                func = value.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    continue
+                callee = index.resolve_method(
+                    f"{info.module}.{info.class_name}", func.attr
+                )
+                if callee is None or callee == qualname:
+                    continue
+                if _suppressed(
+                    index, info, node.lineno, (RULE_GUARDED_ESCAPE, "mutable-return")
+                ):
+                    continue
+                for esc in summaries.get(callee, []):
+                    key = (esc.attr, node.lineno)
+                    if key in known or len(esc.chain) >= MAX_CHAIN_DEPTH:
+                        continue
+                    mine.append(
+                        _Escape(
+                            attr=esc.attr,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            via="call",
+                            chain=(_frame(info, node.lineno),) + esc.chain,
+                        )
+                    )
+                    known.add(key)
+                    changed = True
+    return summaries
+
+
+def _check_guarded_escape(index: ProjectIndex) -> Iterator[Finding]:
+    summaries = _escape_summaries(index)
+    for qualname, escapes in summaries.items():
+        info = index.functions[qualname]
+        mod = index.modules.get(info.module)
+        # the literal ``return self.attr`` spelling in the declaring module
+        # is the intraprocedural mutable-return rule's finding; re-reporting
+        # it here would double every existing diagnostic
+        module_guarded = set()
+        if mod is not None:
+            from repro.analysis.rules import collect_guarded_attrs
+
+            module_guarded = set(collect_guarded_attrs(mod.tree, mod.comments))
+        for esc in escapes:
+            if esc.via == "direct" and esc.attr in module_guarded:
+                continue
+            how = {
+                "direct": "by reference (declared on a base class)",
+                "alias": "by reference through a local alias",
+                "call": "by reference through another method's return",
+            }[esc.via]
+            yield Finding(
+                path=info.path,
+                line=esc.line,
+                col=esc.col,
+                rule=RULE_GUARDED_ESCAPE,
+                severity=Severity.ERROR,
+                message=f"returns guarded container '{esc.attr}' {how}",
+                hint="return a copy (dict(...), list(...)) so callers cannot "
+                "mutate state guarded by the lock",
+                chain=esc.chain,
+            )
+
+
+# ------------------------------------------------------------------ entry
+
+
+def run_interproc(index: ProjectIndex) -> List[Finding]:
+    """All interprocedural findings over an indexed project, sorted the
+    same way the engine sorts intraprocedural ones."""
+    findings: List[Finding] = []
+    findings.extend(_check_transitive_blocking(index))
+    findings.extend(_check_requires_lock(index))
+    findings.extend(_check_guarded_escape(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

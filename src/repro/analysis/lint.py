@@ -4,28 +4,37 @@ Run it as a module::
 
     PYTHONPATH=src python -m repro.analysis.lint src --strict
 
-Two passes: pass 1 parses every file and indexes which classes define
-``__len__`` (feeding the ``or-falsy-default`` rule); pass 2 runs every
-rule over every file, filters findings through ``# lint: ignore[...]``
-suppressions, and reports what survives.  ``--strict`` exits non-zero
-on any unsuppressed finding (the CI gate); without it the run is a
-report and always exits 0.
+Two passes: pass 1 parses every file (in parallel with ``--jobs N``),
+indexes which classes define ``__len__`` (feeding the
+``or-falsy-default`` rule), and builds the project-wide symbol table and
+call graph; pass 2 runs every intraprocedural rule over every file, then
+the interprocedural rules (:mod:`repro.analysis.interproc`) over the
+call graph, filters findings through ``# lint: ignore[...]``
+suppressions and the optional ``--baseline`` file, and reports what
+survives.  ``--strict`` exits non-zero on any unsuppressed,
+non-baselined finding (the CI gate); without it the run is a report and
+always exits 0.  ``--format json`` emits the full report as one JSON
+object for artifacts and diffing.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import concurrent.futures
+import json
 import sys
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.annotations import CommentMap, scan_comments
-from repro.analysis.findings import Finding, Severity, Suppression, make_finding
+from repro.analysis.findings import Finding, Severity, Suppression
 from repro.analysis.rules import (
     ALL_RULES,
     DEFAULT_LEN_CLASSES,
+    INTERPROC_RULE_IDS,
     KNOWN_RULE_IDS,
     LintContext,
     collect_len_classes,
@@ -38,6 +47,8 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    #: findings matched (and absorbed) by the ``--baseline`` file
+    baselined: List[Finding] = field(default_factory=list)
     files_checked: int = 0
 
     @property
@@ -47,6 +58,17 @@ class LintReport:
     @property
     def warnings(self) -> List[Finding]:
         return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [
+                {"finding": f.as_dict(), "reason": s.reason, "line": s.line}
+                for f, s in self.suppressed
+            ],
+            "baselined": [f.as_dict() for f in self.baselined],
+        }
 
 
 def discover_files(paths: Sequence[str], exclude: Sequence[str] = ()) -> List[Path]:
@@ -94,6 +116,14 @@ def _parse(path: Path) -> Tuple[Optional[str], Optional[ast.Module], Optional[Fi
     return source, tree, None
 
 
+def _parse_and_scan(
+    path: Path,
+) -> Tuple[Path, Optional[str], Optional[ast.Module], Optional[CommentMap], Optional[Finding]]:
+    source, tree, parse_finding = _parse(path)
+    comments = scan_comments(source) if source is not None and tree is not None else None
+    return path, source, tree, comments, parse_finding
+
+
 def _suppression_findings(path: str, comments: CommentMap) -> List[Finding]:
     """The ``bad-suppression`` meta-rule: every suppression must name at
     least one known rule id and carry a non-empty reason."""
@@ -122,11 +152,56 @@ def _suppression_findings(path: str, comments: CommentMap) -> List[Finding]:
     return findings
 
 
+def load_baseline(path: str) -> List[Tuple[str, str, str]]:
+    """Read a baseline file: a JSON list of grandfathered findings, each
+    ``{"path": ..., "rule": ..., "message": ...}``.  Line numbers are
+    deliberately absent — see :meth:`Finding.baseline_key`."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = raw["findings"] if isinstance(raw, dict) else raw
+    return [(e["path"], e["rule"], e["message"]) for e in entries]
+
+
+def write_baseline(path: str, report: LintReport) -> None:
+    """Grandfather the current unsuppressed findings into ``path``."""
+    entries = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in report.findings
+    ]
+    Path(path).write_text(
+        json.dumps({"findings": entries}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _apply_baseline(
+    report: LintReport, baseline: Sequence[Tuple[str, str, str]]
+) -> None:
+    """Move findings matched by the baseline into ``report.baselined``.
+
+    Matching is a multiset: two grandfathered copies of the same finding
+    absorb at most two occurrences, so a *new* third instance of an old
+    pattern still fails the gate.
+    """
+    budget = Counter(baseline)
+    kept: List[Finding] = []
+    for finding in report.findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            report.baselined.append(finding)
+        else:
+            kept.append(finding)
+    report.findings = kept
+
+
 def run_lint(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     exclude: Sequence[str] = (),
+    jobs: int = 1,
+    interproc: bool = True,
+    baseline: Optional[Sequence[Tuple[str, str, str]]] = None,
 ) -> LintReport:
     """Lint every ``.py`` file under ``paths`` and return the report."""
     report = LintReport()
@@ -134,22 +209,27 @@ def run_lint(
     selected = set(select) if select else None
     ignored = set(ignore) if ignore else set()
 
-    parsed: List[Tuple[Path, str, ast.Module]] = []
-    for path in files:
-        source, tree, parse_finding = _parse(path)
+    parsed: List[Tuple[Path, str, ast.Module, CommentMap]] = []
+    if jobs > 1 and len(files) > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_parse_and_scan, files))
+    else:
+        results = [_parse_and_scan(path) for path in files]
+    for path, source, tree, comments, parse_finding in results:
         if parse_finding is not None:
             report.findings.append(parse_finding)
             continue
-        assert source is not None and tree is not None
-        parsed.append((path, source, tree))
+        assert source is not None and tree is not None and comments is not None
+        parsed.append((path, source, tree, comments))
 
     len_classes = DEFAULT_LEN_CLASSES | collect_len_classes(
-        tree for _, _, tree in parsed
+        tree for _, _, tree, _ in parsed
     )
 
-    for path, source, tree in parsed:
+    suppressions_by_path: Dict[str, List[Suppression]] = {}
+    for path, source, tree, comments in parsed:
         report.files_checked += 1
-        comments = scan_comments(source)
+        suppressions_by_path[str(path)] = comments.suppressions
         ctx = LintContext(
             path=str(path),
             source=source,
@@ -165,21 +245,44 @@ def run_lint(
             if rule.rule_id in ignored:
                 continue
             raw.extend(rule.check(ctx))
-        for finding in raw:
-            covering = next(
-                (s for s in comments.suppressions if s.covers(finding)), None
-            )
-            if covering is not None and covering.reason:
-                report.suppressed.append((finding, covering))
-            else:
-                report.findings.append(finding)
+        _route(report, raw, comments.suppressions)
         if (selected is None or "bad-suppression" in selected) and (
             "bad-suppression" not in ignored
         ):
             report.findings.extend(_suppression_findings(str(path), comments))
 
+    if interproc and parsed:
+        wanted = INTERPROC_RULE_IDS - ignored
+        if selected is not None:
+            wanted &= selected
+        if wanted:
+            from repro.analysis.callgraph import build_index
+            from repro.analysis.interproc import run_interproc
+
+            index = build_index(
+                [(str(path), tree, comments) for path, _, tree, comments in parsed]
+            )
+            raw = [f for f in run_interproc(index) if f.rule in wanted]
+            for finding in raw:
+                _route(report, [finding], suppressions_by_path.get(finding.path, []))
+
+    if baseline:
+        _apply_baseline(report, baseline)
+
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report
+
+
+def _route(
+    report: LintReport, findings: List[Finding], suppressions: List[Suppression]
+) -> None:
+    """File findings under ``findings`` or ``suppressed``."""
+    for finding in findings:
+        covering = next((s for s in suppressions if s.covers(finding)), None)
+        if covering is not None and covering.reason:
+            report.suppressed.append((finding, covering))
+        else:
+            report.findings.append(finding)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -211,22 +314,78 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="SUBSTRING",
         help="skip files whose path contains SUBSTRING (repeatable)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or one JSON "
+        "object with findings/suppressed/baselined records",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files with N worker threads (default: 1)",
+    )
+    parser.add_argument(
+        "--no-interproc",
+        action="store_true",
+        help="skip the interprocedural pass (call-graph rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="",
+        metavar="FILE",
+        help="JSON file of grandfathered findings; matches are reported "
+        "as 'baselined' and do not fail --strict",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default="",
+        metavar="FILE",
+        help="write the run's unsuppressed findings to FILE as a new "
+        "baseline and exit 0",
+    )
     args = parser.parse_args(argv)
 
     select = [r.strip() for r in args.select.split(",") if r.strip()] or None
     ignore = [r.strip() for r in args.ignore.split(",") if r.strip()] or None
-    report = run_lint(args.paths, select=select, ignore=ignore, exclude=args.exclude)
-
-    for finding in report.findings:
-        print(finding.render())
-    summary = (
-        f"{report.files_checked} files checked: "
-        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
-        f"{len(report.suppressed)} suppressed"
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = run_lint(
+        args.paths,
+        select=select,
+        ignore=ignore,
+        exclude=args.exclude,
+        jobs=max(1, args.jobs),
+        interproc=not args.no_interproc,
+        baseline=baseline,
     )
-    print(summary)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report)
+        print(
+            f"wrote baseline with {len(report.findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{report.files_checked} files checked: "
+            f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+            f"{len(report.suppressed)} suppressed"
+        )
+        if report.baselined:
+            summary += f", {len(report.baselined)} baselined"
+        print(summary)
     if args.strict and report.findings:
-        print("strict mode: failing on unsuppressed findings", file=sys.stderr)
+        if args.format != "json":
+            print("strict mode: failing on unsuppressed findings", file=sys.stderr)
         return 1
     return 0
 

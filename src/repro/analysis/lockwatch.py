@@ -53,16 +53,40 @@ _REPRO_FRAGMENT = os.sep + "repro" + os.sep
 _THREADING_FILE = threading.__file__
 _THIS_FILE = __file__
 
+#: Files whose frames are instrumentation machinery, not caller code:
+#: this module, the stdlib lock plumbing it wraps, and contextlib (the
+#: ``watched()`` window and ``with`` statements routed through it).
+#: Compared by normalized realpath so a symlinked checkout or a
+#: ``./relative`` import cannot let wrapper frames leak into witnesses.
+_INTERNAL_FILES = frozenset(
+    os.path.normcase(os.path.realpath(name))
+    for name in (_THIS_FILE, _THREADING_FILE, contextlib.__file__)
+    if name
+)
+
+
+def _is_internal_frame(filename: str) -> bool:
+    return os.path.normcase(os.path.realpath(filename)) in _INTERNAL_FILES
+
 
 def _format_stack(limit: int = 14) -> List[str]:
     """The current stack as ``file:line in func`` lines, innermost last,
-    with lockwatch's own frames trimmed off."""
+    with lockwatch's own wrapper frames (and the stdlib lock plumbing)
+    trimmed off so every witness line points at caller code.
+
+    If trimming would leave nothing — an acquisition driven entirely from
+    ``threading`` internals, e.g. a ``Timer``'s run loop touching a
+    repro-allocated event — the innermost untrimmed frames are kept
+    instead: a witness that says *where* is better than a blank one.
+    """
     frames = traceback.extract_stack()
-    trimmed = [
-        f"{frame.filename}:{frame.lineno} in {frame.name}"
+    rendered = [
+        (f"{frame.filename}:{frame.lineno} in {frame.name}", frame.filename)
         for frame in frames
-        if frame.filename not in (_THIS_FILE, _THREADING_FILE)
     ]
+    trimmed = [line for line, filename in rendered if not _is_internal_frame(filename)]
+    if not trimmed:
+        trimmed = [line for line, _ in rendered]
     return trimmed[-limit:]
 
 
@@ -70,11 +94,7 @@ def _allocation_site() -> Optional[str]:
     """``file:line`` of the first non-threading caller frame, or None if
     the allocation did not come from repro code."""
     frame = sys._getframe(2)
-    while frame is not None and frame.f_code.co_filename in (
-        _THIS_FILE,
-        _THREADING_FILE,
-        contextlib.__file__,
-    ):
+    while frame is not None and _is_internal_frame(frame.f_code.co_filename):
         frame = frame.f_back
     if frame is None:
         return None

@@ -90,8 +90,9 @@ class LintContext:
     source: str
     tree: ast.Module
     comments: CommentMap
-    #: attribute name -> lock attribute name, from ``# guarded-by:`` comments
-    guarded: Dict[str, str] = field(default_factory=dict)
+    #: attribute name -> lock attribute names (holding any one suffices),
+    #: from ``# guarded-by:`` comments
+    guarded: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     #: repo-wide set of class names defining ``__len__``
     len_classes: FrozenSet[str] = DEFAULT_LEN_CLASSES
     #: id(node) -> frozenset of lock names held at that node
@@ -141,22 +142,25 @@ def attr_chain(node: ast.AST) -> List[str]:
     return names
 
 
-def collect_guarded_attrs(tree: ast.Module, comments: CommentMap) -> Dict[str, str]:
-    """Map attribute name -> lock name from ``# guarded-by:`` comments.
+def collect_guarded_attrs(
+    tree: ast.Module, comments: CommentMap
+) -> Dict[str, Tuple[str, ...]]:
+    """Map attribute name -> lock names from ``# guarded-by:`` comments.
 
     The comment sits on the attribute's declaration: a ``self.x = ...``
     line in ``__init__`` or a dataclass field line in a class body.  The
     map is module-scoped — attribute names are assumed unique enough
     within one module, which holds for this repo and keeps the rule
-    simple and predictable.
+    simple and predictable.  Several comma-separated locks may be named;
+    holding any one of them legalizes a mutation.
     """
-    guarded: Dict[str, str] = {}
+    guarded: Dict[str, Tuple[str, ...]] = {}
     for node in ast.walk(tree):
         if not isinstance(node, (ast.Assign, ast.AnnAssign)):
             continue
         first = getattr(node, "lineno", 0)
         last = getattr(node, "end_lineno", first) or first
-        lock = next(
+        locks = next(
             (
                 comments.guarded_by[line]
                 for line in range(first, last + 1)
@@ -164,14 +168,14 @@ def collect_guarded_attrs(tree: ast.Module, comments: CommentMap) -> Dict[str, s
             ),
             None,
         )
-        if lock is None:
+        if locks is None:
             continue
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
         for target in targets:
             if isinstance(target, ast.Attribute):
-                guarded[target.attr] = lock
+                guarded[target.attr] = locks
             elif isinstance(target, ast.Name):
-                guarded[target.id] = lock
+                guarded[target.id] = locks
     return guarded
 
 
@@ -187,9 +191,9 @@ def collect_required_locks(tree: ast.Module, comments: CommentMap) -> Dict[int, 
             continue
         body_start = node.body[0].lineno if node.body else node.lineno
         locks = frozenset(
-            comments.requires_lock[line]
+            lock
             for line in range(node.lineno, body_start + 1)
-            if line in comments.requires_lock
+            for lock in comments.requires_lock.get(line, ())
         )
         if locks:
             required[id(node)] = locks
@@ -284,17 +288,18 @@ class GuardedByRule(Rule):
             return
         for node in ast.walk(ctx.tree):
             for attr, target in self._mutations(node):
-                lock = ctx.guarded.get(attr)
-                if lock is None or lock in ctx.held(node):
+                locks = ctx.guarded.get(attr)
+                if locks is None or any(lock in ctx.held(node) for lock in locks):
                     continue
                 if _function_is_exempt(ctx.enclosing_function(node)):
                     continue
+                shown = "' or '".join(locks)
                 yield self.finding(
                     ctx,
                     node,
-                    f"'{attr}' is guarded by '{lock}' but is mutated without it",
-                    hint=f"wrap the mutation in 'with ...{lock}:' or mark the "
-                    f"enclosing function '# requires-lock: {lock}'",
+                    f"'{attr}' is guarded by '{shown}' but is mutated without it",
+                    hint=f"wrap the mutation in 'with ...{locks[0]}:' or mark the "
+                    f"enclosing function '# requires-lock: {locks[0]}'",
                 )
 
     def _mutations(self, node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
@@ -567,8 +572,24 @@ ALL_RULES: List[Rule] = [
     OrFalsyDefaultRule(),
 ]
 
-#: ``bad-suppression`` is emitted by the engine itself, not a rule class.
-KNOWN_RULE_IDS = frozenset(rule.rule_id for rule in ALL_RULES) | {"bad-suppression"}
+#: Rule ids emitted by the interprocedural pass (:mod:`repro.analysis.interproc`).
+#: Declared here (rather than there) so suppression validation does not
+#: need to import the interprocedural machinery.
+INTERPROC_RULE_IDS = frozenset(
+    {
+        "transitive-blocking-under-lock",
+        "requires-lock-not-held",
+        "guarded-escape",
+    }
+)
+
+#: ``bad-suppression`` and ``parse-error`` are emitted by the engine
+#: itself, not a rule class.
+KNOWN_RULE_IDS = (
+    frozenset(rule.rule_id for rule in ALL_RULES)
+    | INTERPROC_RULE_IDS
+    | {"bad-suppression", "parse-error"}
+)
 
 
 def collect_len_classes(trees: Iterable[ast.Module]) -> FrozenSet[str]:

@@ -1,0 +1,532 @@
+"""Static shape/dtype checking for :class:`~repro.nn.model.Sequential`.
+
+An abstract interpreter over layer *configs*: starting from a declared
+input shape (excluding the batch axis) it pushes a symbolic
+:class:`TensorSpec` through every layer, validating the contract each
+layer's ``forward`` would enforce — and several it would not:
+
+* **Dense fan-in** — ``in_features`` must match the incoming feature
+  count (``forward`` checks this, but only when a request arrives);
+* **Conv/Depthwise/Separable channels** — the incoming channel count
+  must match ``in_channels``, and the spatial output must stay positive
+  for the configured kernel/stride/padding;
+* **pool divisibility** — ``MaxPool2D``/``AvgPool2D`` require spatial
+  dims divisible by ``pool_size`` (a runtime ``ShapeError`` otherwise);
+* **recurrent feature width** — ``SimpleRNN``/``GRU``/``LSTM``/
+  ``FastGRNN`` never validate that the sequence's feature axis matches
+  ``input_size``; a mismatch surfaces as a bare numpy matmul error deep
+  inside a serving replica.  Here it is a named finding;
+* **parameter dtype** — every parameter array must be float64 (the
+  engine's GEMM kernels assume it); a stale or hand-edited artifact
+  with integer weights is rejected before it reaches a replica.
+
+On top of the per-layer walk the checker validates the compiled plan's
+fusability assumptions by invoking the real
+:func:`repro.nn.engine._compile_steps` translation (structure only — no
+buffers are allocated) and recording which layers went native, which
+fused, and which fell back to ``layer.forward``.
+
+:func:`check_model` returns a :class:`ShapeReport`; :func:`validate_model`
+raises :class:`~repro.exceptions.AnalysisError` naming the offending
+layer index.  ``core/registry.ModelRegistry.publish`` and
+``serving/rollout.RolloutController.deploy``/``begin`` call it as a
+gate (both with an opt-out flag).
+
+Run the module directly to sweep the repo's model corpus::
+
+    PYTHONPATH=src python -m repro.analysis.shapes [--format json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+Shape = Tuple[Optional[int], ...]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Abstract value flowing between layers: shape (no batch axis, with
+    ``None`` for axes unknown statically, e.g. sequence length) + dtype."""
+
+    shape: Shape
+    dtype: str = "float64"
+
+    def render(self) -> str:
+        dims = ", ".join("?" if d is None else str(d) for d in self.shape)
+        return f"({dims}):{self.dtype}"
+
+
+@dataclass(frozen=True)
+class ShapeFinding:
+    """One contract violation at one layer."""
+
+    index: int
+    layer: str
+    message: str
+
+    def render(self) -> str:
+        return f"layer {self.index} ({self.layer}): {self.message}"
+
+
+@dataclass
+class LayerTrace:
+    """One layer's inferred transfer, for reports and artifacts."""
+
+    index: int
+    layer: str
+    kind: str
+    input: TensorSpec
+    output: TensorSpec
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "layer": self.layer,
+            "kind": self.kind,
+            "input": list(self.input.shape),
+            "output": list(self.output.shape),
+            "dtype": self.output.dtype,
+        }
+
+
+@dataclass
+class ShapeReport:
+    """The outcome of one model check."""
+
+    model: str
+    input: TensorSpec
+    traces: List[LayerTrace] = field(default_factory=list)
+    findings: List[ShapeFinding] = field(default_factory=list)
+    #: compiled-plan summary: counts of native / fused / fallback steps
+    native_steps: int = 0
+    fused_activations: int = 0
+    #: layer indices the engine could not translate to native steps
+    fallback_layers: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def output(self) -> Optional[TensorSpec]:
+        return self.traces[-1].output if self.traces else self.input
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "ok": self.ok,
+            "input": list(self.input.shape),
+            "output": list(self.output.shape) if self.output else None,
+            "layers": [t.as_dict() for t in self.traces],
+            "findings": [
+                {"index": f.index, "layer": f.layer, "message": f.message}
+                for f in self.findings
+            ],
+            "native_steps": self.native_steps,
+            "fused_activations": self.fused_activations,
+            "fallback_layers": self.fallback_layers,
+        }
+
+
+def _describe(layer: object) -> str:
+    name = getattr(layer, "name", None)
+    return f"{type(layer).__name__} {name!r}" if name else type(layer).__name__
+
+
+def _conv_out(size: Optional[int], kernel: int, stride: int, pad: int) -> Optional[int]:
+    if size is None:
+        return None
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+class _LayerChecker:
+    """Transfer function + validation for one layer class.
+
+    Dispatch is duck-typed on layer attributes rather than imported
+    classes so the checker keeps working for layers registered from
+    outside :mod:`repro.nn.layers` (``FastGRNNLayer`` lives in
+    ``eialgorithms``) without import cycles.
+    """
+
+    def __init__(self) -> None:
+        self._dispatch: List[Tuple[Callable[[object], bool], Callable]] = [
+            (self._is_separable, self._separable),
+            (self._is_depthwise, self._depthwise),
+            (self._is_conv, self._conv),
+            (self._is_dense, self._dense),
+            (self._is_global_pool, self._global_pool),
+            (self._is_pool, self._pool),
+            (self._is_flatten, self._flatten),
+            (self._is_batchnorm, self._batchnorm),
+            (self._is_recurrent, self._recurrent),
+        ]
+
+    # ---------------------------------------------------------- dispatch
+
+    def transfer(
+        self, layer: object, spec: TensorSpec, emit: Callable[[str], None]
+    ) -> TensorSpec:
+        for predicate, handler in self._dispatch:
+            if predicate(layer):
+                return handler(layer, spec, emit)
+        kind = getattr(layer, "kind", "layer")
+        if kind in ("activation", "regularization"):
+            return spec
+        # unknown layer: trust its own output_shape, flag if even that fails
+        try:
+            known = tuple(spec.shape)
+            if any(d is None for d in known):
+                return TensorSpec(spec.shape, spec.dtype)
+            out = tuple(int(d) for d in layer.output_shape(known))  # type: ignore[attr-defined]
+            return TensorSpec(out, spec.dtype)
+        except Exception as exc:
+            emit(f"output_shape({spec.render()}) failed: {exc}")
+            return spec
+
+    # -------------------------------------------------------- predicates
+
+    @staticmethod
+    def _is_dense(layer: object) -> bool:
+        return hasattr(layer, "in_features") and hasattr(layer, "out_features")
+
+    @staticmethod
+    def _is_separable(layer: object) -> bool:
+        return hasattr(layer, "depthwise") and hasattr(layer, "pointwise")
+
+    @staticmethod
+    def _is_depthwise(layer: object) -> bool:
+        return (
+            hasattr(layer, "kernel_size")
+            and hasattr(layer, "in_channels")
+            and not hasattr(layer, "out_channels")
+        )
+
+    @staticmethod
+    def _is_conv(layer: object) -> bool:
+        return hasattr(layer, "kernel_size") and hasattr(layer, "out_channels")
+
+    @staticmethod
+    def _is_pool(layer: object) -> bool:
+        return hasattr(layer, "pool_size")
+
+    @staticmethod
+    def _is_global_pool(layer: object) -> bool:
+        return type(layer).__name__ == "GlobalAvgPool2D"
+
+    @staticmethod
+    def _is_flatten(layer: object) -> bool:
+        return type(layer).__name__ == "Flatten"
+
+    @staticmethod
+    def _is_batchnorm(layer: object) -> bool:
+        return hasattr(layer, "num_features") and hasattr(layer, "momentum")
+
+    @staticmethod
+    def _is_recurrent(layer: object) -> bool:
+        return getattr(layer, "kind", "") == "recurrent" and hasattr(
+            layer, "input_size"
+        )
+
+    # ---------------------------------------------------------- transfers
+
+    def _dense(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        if len(spec.shape) != 1:
+            emit(f"expects a flat feature vector, got {spec.render()}")
+        else:
+            features = spec.shape[0]
+            if features is not None and features != layer.in_features:
+                emit(
+                    f"expects {layer.in_features} input features, got {features}"
+                )
+        return TensorSpec((int(layer.out_features),), spec.dtype)
+
+    def _image_in(self, layer, spec: TensorSpec, emit) -> Optional[Shape]:
+        if len(spec.shape) != 3:
+            emit(f"expects (height, width, channels) input, got {spec.render()}")
+            return None
+        return spec.shape
+
+    def _conv_common(
+        self, layer, spec: TensorSpec, emit, out_channels: int
+    ) -> TensorSpec:
+        shape = self._image_in(layer, spec, emit)
+        if shape is None:
+            return TensorSpec((None, None, out_channels), spec.dtype)
+        height, width, channels = shape
+        if channels is not None and channels != layer.in_channels:
+            emit(f"expects {layer.in_channels} channels, got {channels}")
+        pad = int(getattr(layer, "pad", 0))
+        kernel = int(layer.kernel_size)
+        stride = int(layer.stride)
+        out_h = _conv_out(height, kernel, stride, pad)
+        out_w = _conv_out(width, kernel, stride, pad)
+        for axis, size in (("height", out_h), ("width", out_w)):
+            if size is not None and size <= 0:
+                emit(
+                    f"kernel {kernel} stride {stride} padding "
+                    f"'{getattr(layer, 'padding', '?')}' collapses the "
+                    f"{axis} axis of {spec.render()} to {size}"
+                )
+        return TensorSpec((out_h, out_w, out_channels), spec.dtype)
+
+    def _conv(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        return self._conv_common(layer, spec, emit, int(layer.out_channels))
+
+    def _depthwise(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        return self._conv_common(layer, spec, emit, int(layer.in_channels))
+
+    def _separable(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        mid = self._conv_common(layer.depthwise, spec, emit, int(layer.in_channels))
+        return self._conv_common(layer.pointwise, mid, emit, int(layer.out_channels))
+
+    def _pool(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        shape = self._image_in(layer, spec, emit)
+        pool = int(layer.pool_size)
+        if shape is None:
+            return spec
+        height, width, channels = shape
+        for axis, size in (("height", height), ("width", width)):
+            if size is not None and size % pool != 0:
+                emit(
+                    f"pool_size {pool} does not divide the {axis} {size} "
+                    f"(runtime ShapeError)"
+                )
+        out_h = None if height is None else height // pool
+        out_w = None if width is None else width // pool
+        return TensorSpec((out_h, out_w, channels), spec.dtype)
+
+    def _global_pool(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        shape = self._image_in(layer, spec, emit)
+        if shape is None:
+            return TensorSpec((None,), spec.dtype)
+        return TensorSpec((shape[2],), spec.dtype)
+
+    def _flatten(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        if any(d is None for d in spec.shape):
+            return TensorSpec((None,), spec.dtype)
+        flat = 1
+        for d in spec.shape:
+            flat *= int(d)  # type: ignore[arg-type]
+        return TensorSpec((flat,), spec.dtype)
+
+    def _batchnorm(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        if not spec.shape:
+            emit(f"expects at least one axis, got {spec.render()}")
+            return spec
+        features = spec.shape[-1]
+        if features is not None and features != layer.num_features:
+            emit(
+                f"normalizes {layer.num_features} features but the incoming "
+                f"tensor has {features} on its channel axis"
+            )
+        return spec
+
+    def _recurrent(self, layer, spec: TensorSpec, emit) -> TensorSpec:
+        if len(spec.shape) != 2:
+            emit(f"expects (steps, features) sequences, got {spec.render()}")
+            return TensorSpec((int(layer.hidden_size),), spec.dtype)
+        features = spec.shape[1]
+        if features is not None and features != layer.input_size:
+            emit(
+                f"consumes {layer.input_size}-feature steps but the sequence "
+                f"carries {features} features (forward would fail inside a "
+                f"bare matmul, not a named check)"
+            )
+        return TensorSpec((int(layer.hidden_size),), spec.dtype)
+
+
+_checker = _LayerChecker()
+
+
+def _param_dtype_findings(index: int, layer: object) -> List[str]:
+    problems = []
+    for key, value in getattr(layer, "_params", {}).items():
+        if isinstance(value, np.ndarray) and value.dtype != np.float64:
+            problems.append(
+                f"parameter '{key}' is {value.dtype}, engine kernels expect "
+                f"float64"
+            )
+    return problems
+
+
+def check_model(
+    model, input_shape: Sequence[Optional[int]], dtype: str = "float64"
+) -> ShapeReport:
+    """Push an abstract tensor through ``model`` and report every
+    violated layer contract plus the compiled-plan summary."""
+    spec = TensorSpec(tuple(input_shape), dtype)
+    name = getattr(model, "name", None) or type(model).__name__
+    report = ShapeReport(model=str(name), input=spec)
+    if not np.issubdtype(np.dtype(dtype), np.floating):
+        report.findings.append(
+            ShapeFinding(
+                index=-1,
+                layer="<input>",
+                message=f"input dtype {dtype} is not floating point",
+            )
+        )
+    for index, layer in enumerate(getattr(model, "layers", [])):
+        label = _describe(layer)
+        messages: List[str] = []
+        out = _checker.transfer(layer, spec, messages.append)
+        messages.extend(_param_dtype_findings(index, layer))
+        for message in messages:
+            report.findings.append(
+                ShapeFinding(index=index, layer=label, message=message)
+            )
+        report.traces.append(
+            LayerTrace(
+                index=index,
+                layer=label,
+                kind=getattr(layer, "kind", "layer"),
+                input=spec,
+                output=out,
+            )
+        )
+        spec = out
+    _summarize_plan(model, report)
+    return report
+
+
+def _summarize_plan(model, report: ShapeReport) -> None:
+    """Validate the fusability assumptions by running the engine's real
+    step translation (structure only, no buffers)."""
+    try:
+        from repro.nn.engine import _FallbackStep, _compile_steps
+    except Exception:  # pragma: no cover - nn stack unavailable
+        return
+    try:
+        steps, fused = _compile_steps(model)
+    except Exception as exc:
+        report.findings.append(
+            ShapeFinding(
+                index=-1,
+                layer="<plan>",
+                message=f"engine failed to compile the layer stack: {exc}",
+            )
+        )
+        return
+    report.fused_activations = int(fused)
+    layer_index = {id(layer): i for i, layer in enumerate(model.layers)}
+    for step in steps:
+        if isinstance(step, _FallbackStep):
+            report.fallback_layers.append(
+                layer_index.get(id(step.layer), -1)
+            )
+        else:
+            report.native_steps += 1
+
+
+def validate_model(
+    model,
+    input_shape: Sequence[Optional[int]],
+    dtype: str = "float64",
+    context: str = "publish",
+) -> ShapeReport:
+    """The gate form of :func:`check_model`: raise
+    :class:`~repro.exceptions.AnalysisError` on any finding."""
+    report = check_model(model, input_shape, dtype)
+    if not report.ok:
+        details = "; ".join(f.render() for f in report.findings)
+        raise AnalysisError(
+            f"shape check failed at {context} time for model "
+            f"'{report.model}' with input {report.input.render()}: {details}"
+        )
+    return report
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def model_corpus() -> List[Tuple[str, object, Tuple[int, ...]]]:
+    """Every Sequential the repo's algorithm/app builders produce, with
+    its canonical input shape — the sweep CI runs."""
+    from repro.apps.connected_health import ActivityRecognizer
+    from repro.eialgorithms.emirnn import EMIRNNClassifier
+    from repro.eialgorithms.fastgrnn import FastGRNNClassifier
+    from repro.eialgorithms.mobilenet import build_mobilenet
+    from repro.eialgorithms.reference import (
+        build_alexnet_lite,
+        build_lenet,
+        build_mlp,
+        build_vgg_lite,
+    )
+    from repro.eialgorithms.squeezenet import build_squeezenet
+    from repro.nn.layers.lstm import LSTMClassifier
+
+    recognizer = ActivityRecognizer()
+    emirnn = EMIRNNClassifier(input_size=6, num_classes=4)
+    corpus: List[Tuple[str, object, Tuple[int, ...]]] = [
+        ("mlp", build_mlp(16, 4), (16,)),
+        ("lenet", build_lenet((16, 16, 1), 4), (16, 16, 1)),
+        ("alexnet-lite", build_alexnet_lite((16, 16, 1), 4), (16, 16, 1)),
+        ("vgg-lite", build_vgg_lite((16, 16, 1), 4), (16, 16, 1)),
+        ("mobilenet", build_mobilenet((16, 16, 1), 4), (16, 16, 1)),
+        ("squeezenet", build_squeezenet((16, 16, 1), 4), (16, 16, 1)),
+        (
+            "fastgrnn",
+            FastGRNNClassifier(input_size=6, num_classes=4).model,
+            (20, 6),
+        ),
+        ("emi-rnn", emirnn.model, (emirnn.window, 6)),
+        ("lstm", LSTMClassifier(input_size=6, num_classes=4).model, (20, 6)),
+        (
+            "connected-health",
+            recognizer.classifier.model,
+            (recognizer.steps, recognizer.channels),
+        ),
+    ]
+    return corpus
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.shapes",
+        description="Static shape/dtype sweep over the repo's model corpus "
+        "(the same checker ModelRegistry.publish runs as a gate).",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human-readable table (default) or one JSON object",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = model_corpus()
+    reports = [check_model(model, shape) for _, model, shape in corpus]
+    payload = [
+        {"name": name, **report.as_dict()}
+        for (name, _, _), report in zip(corpus, reports)
+    ]
+    failed = any(not report.ok for report in reports)
+    if args.format == "json":
+        print(json.dumps({"models": payload, "ok": not failed}, indent=2))
+    else:
+        for entry, report in zip(payload, reports):
+            status = "ok" if report.ok else "FAIL"
+            out = report.output.render() if report.output else "?"
+            print(
+                f"{entry['name']:>18}: {status}  {report.input.render()} -> {out}  "
+                f"native={report.native_steps} fused={report.fused_activations} "
+                f"fallback={len(report.fallback_layers)}"
+            )
+            for finding in report.findings:
+                print(f"                    {finding.render()}")
+    if failed:
+        print("shape check failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

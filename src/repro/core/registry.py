@@ -131,6 +131,7 @@ class ModelRegistry:
         scenario: str = "generic",
         optimizations: Tuple[str, ...] = (),
         base: Optional[VersionRef] = None,
+        validate: bool = True,
         **extra: object,
     ) -> ModelVersion:
         """Publish a model as the next version of ``name``.
@@ -141,6 +142,13 @@ class ModelRegistry:
         corrected eval accuracy) becomes a new version sharing the same
         stored blob.  ``base`` records lineage (e.g. the uncompressed
         model a quantized variant came from) and must already exist.
+
+        ``validate=True`` (default) runs the static shape/dtype checker
+        (:mod:`repro.analysis.shapes`) against ``input_shape`` before
+        anything is stored, raising
+        :class:`~repro.exceptions.AnalysisError` so a shape-broken
+        architecture never becomes a pullable artifact.  Pass
+        ``validate=False`` to archive intentionally exotic models.
         """
         if not name:
             raise ConfigurationError("registry entries need a non-empty name")
@@ -149,6 +157,12 @@ class ModelRegistry:
                 f"registry names cannot contain '@' (reserved for name@version "
                 f"refs): {name!r}"
             )
+        if validate:
+            # imported lazily: the registry must stay importable even if
+            # the analysis package is stripped from a deployment image
+            from repro.analysis.shapes import validate_model
+
+            validate_model(model, input_shape, context="publish")
         blob = serialize_model(model)
         digests = {
             key: (array_digest(value), int(value.nbytes))

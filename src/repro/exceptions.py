@@ -64,3 +64,10 @@ class StaticAnalysisError(ReproError):
 class LockContractError(ReproError):
     """The runtime lock watcher detected a lock-order cycle or hold-budget
     violation (see :mod:`repro.analysis.lockwatch`)."""
+
+
+class AnalysisError(ReproError):
+    """A static model check failed: the shape/dtype interpreter in
+    :mod:`repro.analysis.shapes` rejected an architecture at publish or
+    deploy time.  The message names the offending layer index and what
+    the abstract interpreter expected there."""

@@ -234,6 +234,21 @@ class RolloutController:
         have = None if held is None else (held.name, held.version)
         return self.registry.delta_bytes(target.name, target.version, have=have)
 
+    def _shape_check(self, target: ModelVersion, validate: bool) -> None:
+        """Deploy-time twin of the registry's publish gate: re-validate
+        the artifact against its recorded input shape before any replica
+        serves it.  Catches artifacts published before the gate existed
+        (or with ``validate=False``) and blobs corrupted in storage;
+        raises :class:`~repro.exceptions.AnalysisError`.  Runs outside
+        ``_lock`` — it deserializes a model copy.
+        """
+        if not validate:
+            return
+        from repro.analysis.shapes import validate_model
+
+        model = self.registry.pull(target.name, target.version)
+        validate_model(model, target.input_shape, context="deploy")
+
     # -- baseline deployment -----------------------------------------------------
     def deploy(
         self,
@@ -242,15 +257,19 @@ class RolloutController:
         name: str,
         version: Optional[int] = None,
         update_zoo: bool = True,
+        validate: bool = True,
     ) -> List[ServingEntry]:
         """Serve a registry version fleet-wide as the rollout baseline.
 
         Registers a :meth:`make_handler` handler for the algorithm on
         every replica; ``update_zoo=True`` (default) also refreshes the
         fleet's shared zoo entry so selection-layer consumers profile the
-        exact published build.
+        exact published build.  ``validate=True`` (default) re-runs the
+        static shape checker on the pulled artifact before any replica
+        serves it; see :meth:`_shape_check`.
         """
         target = self.registry.get(name, version)
+        self._shape_check(target, validate)
         key = (scenario, algorithm)
         with self._lock:
             previous = dict(self._serving.get(key, {}))
@@ -300,11 +319,16 @@ class RolloutController:
         version: Optional[int] = None,
         canary: Optional[str] = None,
         policy: Optional[RolloutPolicy] = None,
+        validate: bool = True,
     ) -> RolloutEvent:
         """Stage the candidate version on one canary replica.
 
         ``version=None`` stages the latest registry version of the name
         the baseline serves; ``canary=None`` picks the first replica.
+        ``validate=True`` (default) shape-checks the candidate before it
+        is staged: a rejected artifact records a ``canary-failed`` event,
+        releases the rollout claim, and raises ``AnalysisError`` — the
+        fleet keeps serving the baseline.
         """
         key = (scenario, algorithm)
         policy = policy or RolloutPolicy()
@@ -350,6 +374,7 @@ class RolloutController:
         # pull + profile outside the lock: request handlers resolve their
         # entry through it, and staging must not stall live traffic
         try:
+            self._shape_check(target, validate)
             if baseline is None:
                 # the replica joined the fleet after deploy(): install the
                 # current baseline on it first so a rollback has a real

@@ -1,0 +1,43 @@
+"""Golden fixture: callers of ``# requires-lock:`` contracts are checked.
+
+PR 7 used the contract only to mark locks held *inside* the annotated
+body; the interprocedural pass verifies every call site actually holds
+(or re-declares) the named lock.
+"""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}  # guarded-by: _lock
+
+    def _bump(self, key):  # requires-lock: _lock
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def _bump_twice(self, key):  # requires-lock: _lock
+        # clean: the caller's own contract covers the callee's
+        self._bump(key)
+        self._bump(key)
+
+    def _forward(self, key):
+        self._bump(key)  # EXPECT[requires-lock-not-held]
+
+    def bad_record(self, key):
+        self._bump(key)  # EXPECT[requires-lock-not-held]
+
+    def bad_record_transitive(self, key):
+        self._forward(key)  # EXPECT[requires-lock-not-held]
+
+    def good_record(self, key):
+        with self._lock:
+            self._bump(key)
+
+    def good_record_batch(self, key):
+        with self._lock:
+            self._bump_twice(key)
+
+    def suppressed_record(self, key):
+        # lint: ignore[requires-lock-not-held] constructor-time seeding; no worker thread exists yet
+        self._bump(key)

@@ -1,0 +1,55 @@
+"""Golden fixture: blocking reached transitively through the call graph.
+
+The intraprocedural ``blocking-under-lock`` rule only sees terminals
+written directly inside the ``with`` block; these findings require the
+interprocedural pass to follow module-level helpers.
+"""
+
+import threading
+import time
+
+
+def _backoff():
+    time.sleep(0.05)
+
+
+def _retry_with_backoff():
+    _backoff()
+
+
+def _quiet_probe():
+    # lint: ignore[transitive-blocking-under-lock] bounded 1ms probe, measured well under every hold budget
+    _backoff()
+
+
+class Refresher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.generation = 0
+
+    def bad_refresh_one_deep(self):
+        with self._lock:
+            _backoff()  # EXPECT[transitive-blocking-under-lock]
+
+    def bad_refresh_two_deep(self):
+        with self._lock:
+            _retry_with_backoff()  # EXPECT[transitive-blocking-under-lock]
+
+    def good_refresh_unlocked(self):
+        _retry_with_backoff()
+
+    def good_snapshot_then_retry(self):
+        with self._lock:
+            generation = self.generation
+        _retry_with_backoff()
+        return generation
+
+    def good_inner_frame_suppressed(self):
+        # clean: _quiet_probe's own ignore stops propagation through it
+        with self._lock:
+            _quiet_probe()
+
+    def suppressed_refresh(self):
+        with self._lock:
+            # lint: ignore[transitive-blocking-under-lock] startup path; the lock is uncontended before serving begins
+            _retry_with_backoff()

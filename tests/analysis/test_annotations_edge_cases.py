@@ -1,0 +1,144 @@
+"""Edge cases of the comment-carried contracts.
+
+Covers: several locks on one ``# guarded-by:`` (holding any one of them
+legalizes a mutation), annotations on properties, and contracts applied
+through subclassing within one module.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import run_lint
+from repro.analysis.annotations import scan_comments
+
+
+def _lint(tmp_path, source):
+    path = tmp_path / "m.py"
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)])
+
+
+def test_guarded_by_parses_comma_separated_lock_lists():
+    comments = scan_comments(
+        "x = 1  # guarded-by: _lock, _cond\n"
+        "def f():  # requires-lock: _a,_b\n"
+        "    pass\n"
+    )
+    assert comments.guarded_by[1] == ("_lock", "_cond")
+    assert comments.requires_lock[2] == ("_a", "_b")
+
+
+def test_holding_any_one_of_several_guarded_by_locks_is_legal(tmp_path):
+    report = _lint(
+        tmp_path,
+        """
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition()
+                self._entries = {}  # guarded-by: _lock, _cond
+
+            def via_lock(self, key, value):
+                with self._lock:
+                    self._entries[key] = value
+
+            def via_cond(self, key, value):
+                with self._cond:
+                    self._entries[key] = value
+
+            def unguarded(self, key, value):
+                self._entries[key] = value
+        """,
+    )
+    assert [f.rule for f in report.findings] == ["guarded-by"]
+    finding = report.findings[0]
+    assert "'_cond' or '_lock'" in finding.message or "'_lock' or '_cond'" in finding.message
+    # exactly the unguarded() mutation — both with-blocks are clean
+    lines = tmp_path.joinpath("m.py").read_text().splitlines()
+    assert lines[finding.line - 1].strip() == "self._entries[key] = value"
+    assert finding.line == len(lines)  # unguarded()'s body is the last line
+
+
+def test_requires_lock_with_several_locks_asserts_all_of_them(tmp_path):
+    report = _lint(
+        tmp_path,
+        """
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition()
+                self._a = []  # guarded-by: _lock
+                self._b = []  # guarded-by: _cond
+
+            def _move(self, item):  # requires-lock: _lock, _cond
+                self._a.append(item)
+                self._b.append(item)
+
+            def move(self, item):
+                with self._lock:
+                    with self._cond:
+                        self._move(item)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_annotations_work_on_properties(tmp_path):
+    report = _lint(
+        tmp_path,
+        """
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._stats = {}  # guarded-by: _lock
+
+            @property
+            def stats(self):
+                return self._stats
+
+            @property
+            def stat_count(self):  # requires-lock: _lock
+                self._stats["reads"] = self._stats.get("reads", 0) + 1
+                return len(self._stats)
+        """,
+    )
+    # the reference-leaking property is flagged; the contract-annotated
+    # one is clean (its requires-lock seeds the held set)
+    assert [f.rule for f in report.findings] == ["mutable-return"]
+    assert "'_stats'" in report.findings[0].message
+
+
+def test_guarded_contract_applies_to_subclasses_in_the_same_module(tmp_path):
+    report = _lint(
+        tmp_path,
+        """
+        import threading
+
+
+        class Base:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}  # guarded-by: _lock
+
+
+        class Sub(Base):
+            def bad_put(self, key, value):
+                self._entries[key] = value
+
+            def good_put(self, key, value):
+                with self._lock:
+                    self._entries[key] = value
+        """,
+    )
+    assert [f.rule for f in report.findings] == ["guarded-by"]
+    assert report.findings[0].line == 13

@@ -8,8 +8,10 @@ stacks.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import traceback
 
 import pytest
 
@@ -112,6 +114,69 @@ def test_stdlib_and_foreign_locks_stay_uninstrumented():
         q = queue.Queue()                   # stdlib-internal allocation
         assert type(q.mutex) is not lockwatch._WatchedLock
         assert watch.locks_created == 0
+
+
+def test_witness_stacks_contain_no_instrumentation_frames():
+    """Regression: witness/hold stacks used to lead with frames from the
+    instrumented wrapper itself (lockwatch.py, threading.py, contextlib.py
+    for ``with`` statements), burying the caller line that actually took
+    the lock.  Every recorded stack must point at caller code only."""
+    with lockwatch.watched(budget_s=0.005) as watch:
+        lock_a, lock_b = _lockforge.make_locks()
+        cond = _lockforge.make_condition()
+
+        def ab():
+            with lock_a:          # with-statement path (contextlib-free but
+                with lock_b:      # enters through the wrapper's __enter__)
+                    # lint: ignore[blocking-under-lock] deliberate over-budget hold provoking a HoldRecord
+                    time.sleep(0.02)
+
+        def ba():
+            with lock_b:
+                lock_a.acquire()  # direct acquire/release path
+                lock_a.release()
+
+        first = threading.Thread(target=ab, name="stacks-ab")
+        first.start(); first.join()
+        second = threading.Thread(target=ba, name="stacks-ba")
+        second.start(); second.join()
+        with cond:
+            # the post-wait reacquire runs through threading's
+            # _acquire_restore — its stack must still surface this line
+            cond.wait(timeout=0.01)
+
+        cycle = watch.find_cycle()
+        assert cycle is not None
+        stacks = [w.holding_stack for w in cycle]
+        stacks += [w.acquiring_stack for w in cycle]
+        stacks += [record.stack for record in watch.hold_violations(0.0)]
+        assert len(stacks) >= 5
+        assert all(stacks), "every witness must carry a non-empty stack"
+        for stack in stacks:
+            for line in stack:
+                path = os.path.normcase(os.path.realpath(line.rsplit(":", 1)[0]))
+                assert path not in lockwatch._INTERNAL_FILES, line
+        # trimming must leave the *caller* line, i.e. this test file
+        here = os.path.basename(__file__)
+        for stack in stacks:
+            assert any(here in line for line in stack), stack
+
+
+def test_fully_internal_acquisition_still_yields_a_witness(monkeypatch):
+    """When every frame is instrumentation-internal (e.g. a lock driven
+    from a ``threading.Timer`` run loop), trimming must fall back to the
+    untrimmed frames rather than record an empty — useless — witness."""
+    everything = {
+        os.path.normcase(os.path.realpath(frame.filename))
+        for frame in traceback.extract_stack()
+    }
+    monkeypatch.setattr(
+        lockwatch,
+        "_INTERNAL_FILES",
+        frozenset(everything | set(lockwatch._INTERNAL_FILES)),
+    )
+    stack = lockwatch._format_stack()
+    assert stack, "an all-internal acquisition still needs a location witness"
 
 
 def test_factories_are_restored_after_the_window():

@@ -70,6 +70,70 @@ def test_swallowed_exception_is_caught(tmp_path):
     assert "swallowed-exception" in _rules_for(run_lint([str(mutant)]), mutant)
 
 
+def test_transitive_blocking_mutation_needs_the_interproc_pass(tmp_path):
+    """Hide the client's network round-trip two calls away from the
+    lock: the PR-7 intraprocedural rule goes blind, the call-graph pass
+    still reports it with a chain witness."""
+    source = Path(client_module.__file__).read_text()
+    anchor = "        with self._pool_lock:\n            if self._pool is None:"
+    assert anchor in source, "mutation anchor drifted — update this test"
+    mutated = source.replace(
+        anchor,
+        "        with self._pool_lock:\n"
+        "            _warm_connection()\n"
+        "            if self._pool is None:",
+    ) + (
+        "\n\n"
+        "def _dial():\n"
+        '    urllib.request.urlopen("http://localhost/", timeout=0.1)\n'
+        "\n\n"
+        "def _warm_connection():\n"
+        "    _dial()\n"
+    )
+    mutant = tmp_path / "client.py"
+    mutant.write_text(mutated)
+
+    blind = run_lint([str(mutant)], interproc=False)
+    assert "transitive-blocking-under-lock" not in _rules_for(blind, mutant)
+    assert "blocking-under-lock" not in _rules_for(blind, mutant)
+
+    full = run_lint([str(mutant)])
+    assert "transitive-blocking-under-lock" in _rules_for(full, mutant)
+    finding = next(
+        f for f in full.findings if f.rule == "transitive-blocking-under-lock"
+    )
+    assert "_warm_connection" in finding.message
+    assert "_pool_lock" in finding.message
+    assert len(finding.chain) == 3  # call site -> _warm_connection -> _dial
+
+
+def test_guarded_escape_mutation_needs_the_interproc_pass(tmp_path):
+    """Leak the lock-guarded rollout table through a local alias: the
+    intraprocedural mutable-return rule only sees literal
+    ``return self._rollouts`` spellings."""
+    source = Path(rollout_module.__file__).read_text()
+    anchor = "    def deploy("
+    assert anchor in source, "mutation anchor drifted — update this test"
+    leak = (
+        "    def active_rollouts(self):\n"
+        "        rollouts = self._rollouts\n"
+        "        return rollouts\n"
+        "\n"
+    )
+    mutant = tmp_path / "rollout.py"
+    mutant.write_text(source.replace(anchor, leak + anchor, 1))
+
+    blind = run_lint([str(mutant)], interproc=False)
+    assert "guarded-escape" not in _rules_for(blind, mutant)
+    assert "mutable-return" not in _rules_for(blind, mutant)
+
+    full = run_lint([str(mutant)])
+    assert "guarded-escape" in _rules_for(full, mutant)
+    finding = next(f for f in full.findings if f.rule == "guarded-escape")
+    assert "_rollouts" in finding.message
+    assert "alias" in finding.message
+
+
 def test_strict_gate_on_the_real_tree_passes():
     """The CI gate: zero unsuppressed findings across src/."""
     src = Path(rollout_module.__file__).parents[2]

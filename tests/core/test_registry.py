@@ -138,7 +138,12 @@ def test_delta_bytes_prices_only_changed_arrays():
     assert delta <= v2.header_bytes + changed.layers[2].params["b"].nbytes + 1
     assert registry.delta_bytes("clf", 2, have="clf@2") == 0
     # an unrelated artifact shares nothing: full price
-    _publish(registry, Sequential([Dense(2, 2, seed=5)], name="o"), name="other")
+    _publish(
+        registry,
+        Sequential([Dense(2, 2, seed=5)], name="o"),
+        name="other",
+        input_shape=(2,),
+    )
     assert registry.delta_bytes("clf", 2, have="other@1") == full
 
 
