@@ -8,6 +8,10 @@
   selector draws from.
 * :mod:`repro.core.registry` — the versioned, content-addressed model
   registry behind the cloud→edge→cloud model lifecycle.
+* :mod:`repro.core.store` — the on-disk content-addressed blob store
+  (atomic writes, verification on read) backing a durable registry.
+* :mod:`repro.core.wal` — the append-only, checksummed write-ahead
+  event log the control plane journals through and recovers from.
 * :mod:`repro.core.model_selector` — the Selecting Algorithm of Eq. (1)
   plus a reinforcement-learning selector.
 * :mod:`repro.core.package_manager` — the lightweight package manager
@@ -23,11 +27,17 @@ from repro.core.model_zoo import ModelZoo, ZooEntry
 from repro.core.openei import OpenEI
 from repro.core.package_manager import InferenceOutcome, PackageManager
 from repro.core.registry import ModelRegistry, ModelVersion, RegistryStats
+from repro.core.store import BlobStore, content_key
+from repro.core.wal import ControlPlaneJournal, WriteAheadLog
 
 __all__ = [
     "ALEM",
     "ALEMRequirement",
+    "BlobStore",
     "CapabilityEvaluator",
+    "ControlPlaneJournal",
+    "WriteAheadLog",
+    "content_key",
     "EvaluatedCandidate",
     "InferenceOutcome",
     "ModelRegistry",

@@ -26,6 +26,15 @@ model loop into a real subsystem:
 
 The registry is thread-safe: fleet replicas pull concurrently during a
 rollout.
+
+**Durability.**  By default everything lives in process memory (the
+pre-PR-10 behavior, still right for tests and throwaway experiments).
+Passing ``store=`` (a :class:`~repro.core.store.BlobStore`) persists
+every artifact blob on disk with atomic writes and verification on
+read, and ``journal=`` (a :class:`~repro.core.wal.ControlPlaneJournal`)
+write-ahead-logs every publish, so :meth:`ModelRegistry.recover`
+rebuilds the full version history — byte-identical blobs included —
+after a crash or restart.
 """
 
 from __future__ import annotations
@@ -34,7 +43,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.exceptions import ConfigurationError, ResourceNotFoundError
+from repro.core.store import BlobStore
+from repro.core.wal import ControlPlaneJournal
+from repro.exceptions import ConfigurationError, IntegrityError, ResourceNotFoundError
 from repro.nn.model import Sequential
 from repro.nn.serialization import (
     array_digest,
@@ -93,6 +104,46 @@ class ModelVersion:
             "extra": dict(self.extra),
         }
 
+    def to_record(self) -> Dict[str, object]:
+        """Lossless JSON-able form, journaled on publish (cf. :meth:`as_dict`,
+        which abbreviates for operator displays)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "size_bytes": self.size_bytes,
+            "task": self.task,
+            "input_shape": list(self.input_shape),
+            "scenario": self.scenario,
+            "optimizations": list(self.optimizations),
+            "base": None if self.base is None else [self.base[0], self.base[1]],
+            "array_digests": {
+                key: [sha, nbytes] for key, (sha, nbytes) in self.array_digests.items()
+            },
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "ModelVersion":
+        """Rebuild a version from its journaled :meth:`to_record` form."""
+        base = record.get("base")
+        return cls(
+            name=str(record["name"]),
+            version=int(record["version"]),  # type: ignore[arg-type]
+            fingerprint=str(record["fingerprint"]),
+            size_bytes=int(record["size_bytes"]),  # type: ignore[arg-type]
+            task=str(record["task"]),
+            input_shape=tuple(int(d) for d in record["input_shape"]),  # type: ignore[union-attr]
+            scenario=str(record.get("scenario", "generic")),
+            optimizations=tuple(str(o) for o in record.get("optimizations", ())),  # type: ignore[union-attr]
+            base=None if base is None else (str(base[0]), int(base[1])),  # type: ignore[index]
+            array_digests={
+                key: (str(sha), int(nbytes))
+                for key, (sha, nbytes) in dict(record.get("array_digests", {})).items()
+            },
+            extra=dict(record.get("extra", {})),  # type: ignore[arg-type]
+        )
+
 
 @dataclass
 class RegistryStats:
@@ -113,13 +164,75 @@ class RegistryStats:
 
 
 class ModelRegistry:
-    """Thread-safe, versioned store of full-model artifacts."""
+    """Thread-safe, versioned store of full-model artifacts.
 
-    def __init__(self) -> None:
+    ``store`` moves artifact bytes onto disk (content-addressed, atomic,
+    verified on every read); ``journal`` write-ahead-logs publish events
+    so :meth:`recover` can rebuild the version index after a restart.
+    Without them the registry is purely in-memory, as before.
+    """
+
+    def __init__(
+        self,
+        store: Optional[BlobStore] = None,
+        journal: Optional[ControlPlaneJournal] = None,
+    ) -> None:
+        if journal is not None and store is None:
+            raise ConfigurationError(
+                "a journaled registry needs a blob store too: publish events "
+                "reference store content addresses, and recovery without the "
+                "blobs would rebuild versions nobody can pull"
+            )
+        self.store = store
+        self.journal = journal
         self._lock = threading.RLock()
+        # memory mode: fingerprint -> artifact bytes
         self._blobs: Dict[str, bytes] = {}  # guarded-by: _lock
+        # store mode: fingerprint -> content address in the blob store
+        self._blob_keys: Dict[str, str] = {}  # guarded-by: _lock
         self._versions: Dict[str, List[ModelVersion]] = {}  # guarded-by: _lock
         self.stats = RegistryStats()  # guarded-by: _lock
+
+    @classmethod
+    def recover(
+        cls, store: BlobStore, journal: ControlPlaneJournal
+    ) -> "ModelRegistry":
+        """Rebuild a registry from its blob store and write-ahead log.
+
+        Replays every journaled publish in order, verifying that each
+        version's blob actually exists in the store (the blob is written
+        *before* the publish event, so an acknowledged publish can never
+        reference a missing artifact — if one does, the store was
+        damaged and recovery refuses to continue rather than serve a
+        registry whose versions cannot be pulled).
+        """
+        registry = cls(store=store, journal=journal)
+        events = journal.replay()
+        # the registry is not yet shared, but the guarded-state contract
+        # holds anyway: every _versions/_blob_keys/stats mutation happens
+        # under the lock
+        with registry._lock:
+            for event in events:
+                if event.get("type") != ControlPlaneJournal.REGISTRY_PUBLISH:
+                    continue
+                entry = ModelVersion.from_record(event)
+                blob_key = str(event["blob_sha256"])
+                if blob_key not in store:
+                    raise IntegrityError(
+                        f"journaled publish of {entry.ref} references blob "
+                        f"{blob_key[:12]}… which is not in the store at {store.root}"
+                    )
+                history = registry._versions.setdefault(entry.name, [])
+                if entry.version != len(history) + 1:
+                    raise IntegrityError(
+                        f"journal replays {entry.ref} but {entry.name} has "
+                        f"{len(history)} recovered versions — the log is missing "
+                        "a publish or was reordered"
+                    )
+                history.append(entry)
+                registry._blob_keys[entry.fingerprint] = blob_key
+                registry.stats.publishes += 1
+        return registry
 
     # -- publishing --------------------------------------------------------------
     def publish(
@@ -172,6 +285,14 @@ class ModelRegistry:
         fingerprint = model_fingerprint(
             model, array_digests={key: sha for key, (sha, _) in digests.items()}
         )
+        # write-ahead order: the blob becomes durable BEFORE the publish
+        # event is journaled, so a crash between the two leaves at worst
+        # an orphaned (content-addressed, idempotently rewritable) blob —
+        # never a journaled version whose bytes are missing.  Done outside
+        # the lock: concurrent same-content puts race benignly.
+        blob_key: Optional[str] = None
+        if self.store is not None:
+            blob_key = self.store.put(blob)
         with self._lock:
             base_key: Optional[Tuple[str, int]] = None
             if base is not None:
@@ -194,10 +315,18 @@ class ModelRegistry:
             if history and self._same_release(history[-1], entry):
                 self.stats.dedup_hits += 1
                 return history[-1]
-            if fingerprint in self._blobs:
+            if fingerprint in self._blobs or fingerprint in self._blob_keys:
                 self.stats.dedup_hits += 1
-            else:
+            if blob_key is not None:
+                self._blob_keys[fingerprint] = blob_key
+            elif fingerprint not in self._blobs:
                 self._blobs[fingerprint] = blob
+            if self.journal is not None:
+                self.journal.append(
+                    ControlPlaneJournal.REGISTRY_PUBLISH,
+                    blob_sha256=blob_key,
+                    **entry.to_record(),
+                )
             history.append(entry)
             self.stats.publishes += 1
             return entry
@@ -284,13 +413,27 @@ class ModelRegistry:
 
     # -- pulling -----------------------------------------------------------------
     def pull_bytes(self, name: str, version: Optional[int] = None) -> bytes:
-        """The stored artifact bytes — identical for every concurrent puller."""
+        """The stored artifact bytes — identical for every concurrent puller.
+
+        With a blob store attached the bytes come off disk and are
+        re-verified against their content address on every pull, so a
+        corrupted object can never reach a replica.
+        """
+        blob_key: Optional[str] = None
         with self._lock:
             entry = self.get(name, version)
-            blob = self._blobs[entry.fingerprint]
+            if self.store is not None:
+                blob_key = self._blob_keys[entry.fingerprint]
+            else:
+                blob = self._blobs[entry.fingerprint]
+        if blob_key is not None:
+            # disk read + verification outside the lock: rollout replicas
+            # pull concurrently and must not serialize on file I/O
+            blob = self.store.get(blob_key)
+        with self._lock:
             self.stats.pulls += 1
             self.stats.bytes_pulled += len(blob)
-            return blob
+        return blob
 
     def pull(self, name: str, version: Optional[int] = None) -> Sequential:
         """Deserialize a private copy of one version (replicas never share)."""
@@ -329,12 +472,27 @@ class ModelRegistry:
     def describe(self) -> Dict[str, object]:
         """Registry summary for operator tooling and ``/ei_status``."""
         with self._lock:
+            if self.store is not None:
+                blobs = len(self._blob_keys)
+                bytes_stored = self._stored_bytes()
+            else:
+                blobs = len(self._blobs)
+                bytes_stored = sum(len(blob) for blob in self._blobs.values())
             return {
                 "models": {
                     name: [entry.as_dict() for entry in history]
                     for name, history in sorted(self._versions.items())
                 },
-                "blobs": len(self._blobs),
-                "bytes_stored": sum(len(blob) for blob in self._blobs.values()),
+                "blobs": blobs,
+                "bytes_stored": bytes_stored,
+                "durable": self.store is not None,
                 **self.stats.as_dict(),
             }
+
+    def _stored_bytes(self) -> int:  # requires-lock: _lock
+        """Unique stored bytes (store mode): one count per distinct blob."""
+        seen: Dict[str, int] = {}
+        for history in self._versions.values():
+            for entry in history:
+                seen[entry.fingerprint] = entry.size_bytes
+        return sum(seen.values())

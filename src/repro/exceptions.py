@@ -71,3 +71,27 @@ class AnalysisError(ReproError):
     :mod:`repro.analysis.shapes` rejected an architecture at publish or
     deploy time.  The message names the offending layer index and what
     the abstract interpreter expected there."""
+
+
+class StorageError(ReproError):
+    """The durable layer (:mod:`repro.core.store` / :mod:`repro.core.wal`)
+    could not read or write its on-disk state."""
+
+
+class IntegrityError(StorageError):
+    """On-disk content failed verification: a blob's bytes no longer hash
+    to its content address, or a journaled artifact is missing from the
+    store.  Recovery must stop — serving silently-corrupted model bytes
+    is worse than refusing to start."""
+
+
+class WALError(StorageError):
+    """The write-ahead log could not append or replay (e.g. the log was
+    closed, or a record is unencodable)."""
+
+
+class WALCorruptionError(WALError):
+    """The write-ahead log is damaged *before* its tail: a checksummed
+    record in the middle of the file fails verification, so everything
+    after it would be silently lost.  A torn tail (an append cut short
+    by a crash) is NOT corruption — it is truncated automatically."""

@@ -40,6 +40,14 @@ live gateway calls into sliding windows, and
 :mod:`repro.serving.adaptive` re-runs the selection (and hot-swaps the
 deployed model, or offloads to the cloud) when the measurements violate
 the application's :class:`~repro.core.alem.ALEMRequirement`.
+
+The control plane is durable: registry publishes, rollout transitions
+(with canary claims journaled as expiring *leases*), telemetry windows
+and drift calibration all journal through one
+:class:`~repro.core.wal.ControlPlaneJournal`, and
+:mod:`repro.serving.recovery` replays that journal so a restarted
+process — wired through ``GatewaySupervisor(recovery=...)`` — converges
+back to the pre-crash fleet state.
 """
 
 from repro.serving.adaptive import (
@@ -54,6 +62,7 @@ from repro.serving.batching import BatchingConfig, BatchingDispatcher, BatchingS
 from repro.serving.cache import CacheStats, SelectionCache, TTLLRUCache
 from repro.serving.client import LibEIClient
 from repro.serving.fleet import EdgeFleet, FleetGateway, FleetInstance
+from repro.serving.recovery import RecoveryReport, recover_control_plane
 from repro.serving.rollout import (
     RolloutController,
     RolloutEvent,
@@ -94,6 +103,7 @@ __all__ = [
     "ModelDeployment",
     "ParsedRequest",
     "ROUTING_POLICIES",
+    "RecoveryReport",
     "ReselectionEvent",
     "RolloutController",
     "RolloutEvent",
@@ -108,4 +118,5 @@ __all__ = [
     "TelemetryWindow",
     "make_router",
     "parse_path",
+    "recover_control_plane",
 ]

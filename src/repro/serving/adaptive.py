@@ -46,6 +46,7 @@ from repro.core.alem import ALEM, ALEMRequirement, OptimizationTarget
 from repro.core.capability import EvaluatedCandidate
 from repro.core.model_selector import RLModelSelector
 from repro.core.openei import OpenEI
+from repro.core.wal import ControlPlaneJournal
 from repro.exceptions import ConfigurationError, ModelSelectionError, ResourceNotFoundError
 from repro.serving.telemetry import OBSERVED_ALEM_KEY, ALEMTelemetry, TelemetryWindow
 
@@ -191,10 +192,12 @@ class AdaptiveController:
         rl_seed: int = 0,
         max_events: int = 128,
         clock: Callable[[], float] = time.monotonic,
+        journal: Optional[ControlPlaneJournal] = None,
     ) -> None:
         if rl_episodes < 0:
             raise ConfigurationError("rl_episodes must be non-negative")
         self.fleet = fleet
+        self.journal = journal
         telemetry = telemetry if telemetry is not None else getattr(fleet, "telemetry", None)
         if telemetry is None:
             raise ConfigurationError(
@@ -324,6 +327,24 @@ class AdaptiveController:
                     continue
                 del self._calibration[key]
 
+    def restore_calibration(
+        self, entries: Sequence[Tuple[Tuple[str, str, str], float]]
+    ) -> int:
+        """Reinstate journaled drift factors after a restart.
+
+        Only keys with no live calibration are restored — drift measured
+        since the restart is always fresher than the journal.  Returns the
+        number of keys restored.
+        """
+        restored = 0
+        with self._lock:
+            for key, drift in entries:
+                if key in self._calibration:
+                    continue
+                self._calibration[tuple(key)] = float(drift)
+                restored += 1
+        return restored
+
     # -- the serving handler -----------------------------------------------------
     def make_handler(self, scenario: str, algorithm: str):
         """An :data:`~repro.core.openei.AlgorithmHandler` that serves the
@@ -386,6 +407,7 @@ class AdaptiveController:
         """Compare telemetry against one policy; reselect where violated."""
         policy = self.policy(scenario, algorithm)
         events: List[ReselectionEvent] = []
+        learned: List[Tuple[Tuple[str, str, str], float]] = []
         with self._lock:
             self.stats.checks += 1
             for instance in self.fleet:
@@ -403,7 +425,7 @@ class AdaptiveController:
                 if last is not None and self.clock() - last < policy.cooldown_s:
                     continue
                 self.stats.violations += 1
-                event = self._reselect(policy, instance, deployment, window, violations)
+                event = self._reselect(policy, instance, deployment, window, violations, learned)
                 # stamp even when holding position, so cooldown_s also
                 # spaces the (re-)evaluation work for a deployment that
                 # cannot improve — not just successful swaps
@@ -413,6 +435,18 @@ class AdaptiveController:
                     continue
                 self.events.append(event)
                 events.append(event)
+        if self.journal is not None:
+            # calibration is learned under the lock but journaled after it:
+            # the fsync must not extend the critical section every handler
+            # thread contends on
+            for (s, a, replica), drift in learned:
+                self.journal.append(
+                    ControlPlaneJournal.CALIBRATION,
+                    scenario=s,
+                    algorithm=a,
+                    replica=replica,
+                    drift=drift,
+                )
         return events
 
     def _confirmed_violations(
@@ -433,6 +467,7 @@ class AdaptiveController:
         deployment: ModelDeployment,
         window: TelemetryWindow,
         violations: Dict[str, float],
+        learned: List[Tuple[Tuple[str, str, str], float]],
     ) -> Optional[ReselectionEvent]:
         openei = instance.openei
         observed = window.observed_alem()
@@ -450,6 +485,8 @@ class AdaptiveController:
                 drift = max(observed.latency_s / deployment.expected.latency_s, 1e-9)
             if window.count("accuracy") and deployment.expected.accuracy > 0:
                 accuracy_scale = observed.accuracy / deployment.expected.accuracy
+        if self._calibration.get(key) != drift:
+            learned.append((key, drift))
         self._calibration[key] = drift
 
         # stale analytic selections for this device/task are now wrong

@@ -38,15 +38,17 @@ events report how many bytes the version push actually moved.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.alem import ALEM, ALEMRequirement
 from repro.core.openei import OpenEI
 from repro.core.registry import ModelRegistry, ModelVersion
+from repro.core.wal import ControlPlaneJournal
 from repro.exceptions import ConfigurationError, ResourceNotFoundError
 from repro.nn.model import Sequential
 from repro.serving.telemetry import OBSERVED_ALEM_KEY, ALEMTelemetry
@@ -80,6 +82,35 @@ class RolloutPolicy:
             raise ConfigurationError("min_samples must be positive")
         if self.healthy_checks <= 0:
             raise ConfigurationError("healthy_checks must be positive")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Lossless serialization for the rollout-lease journal record."""
+        requirement = self.requirement
+        return {
+            "min_samples": self.min_samples,
+            "healthy_checks": self.healthy_checks,
+            "requirement": {
+                "min_accuracy": requirement.min_accuracy,
+                "max_latency_s": requirement.max_latency_s,
+                "max_energy_j": requirement.max_energy_j,
+                "max_memory_mb": requirement.max_memory_mb,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "RolloutPolicy":
+        """Rebuild a policy from its journaled form (recovery path)."""
+        requirement = dict(record.get("requirement") or {})
+        return cls(
+            requirement=ALEMRequirement(
+                min_accuracy=requirement.get("min_accuracy"),
+                max_latency_s=requirement.get("max_latency_s"),
+                max_energy_j=requirement.get("max_energy_j"),
+                max_memory_mb=requirement.get("max_memory_mb"),
+            ),
+            min_samples=int(record["min_samples"]),
+            healthy_checks=int(record["healthy_checks"]),
+        )
 
 
 @dataclass
@@ -141,6 +172,10 @@ class _ActiveRollout:
     baseline: ServingEntry  # guarded-by: _lock (what the canary served before staging)
     healthy_streak: int = 0  # guarded-by: _lock
     stage: str = "canary"  # guarded-by: _lock ("staging" | "canary" | "promoting" | "promoted" | "rolled-back")
+    #: Lease bounds journaled when the claim was granted; after a crash,
+    #: recovery resumes an unexpired lease and releases an expired one.
+    granted_at: float = 0.0
+    expires_at: float = 0.0
     #: True while one check() judges this canary's window — a concurrent
     #: check must not count the same window into healthy_streak twice.
     judging: bool = False  # guarded-by: _lock
@@ -181,9 +216,20 @@ class RolloutController:
         registry: ModelRegistry,
         telemetry: Optional[ALEMTelemetry] = None,
         max_events: int = 128,
+        journal: Optional[ControlPlaneJournal] = None,
+        lease_ttl_s: float = 300.0,
+        clock: Callable[[], float] = time.time,
     ) -> None:
+        if lease_ttl_s <= 0:
+            raise ConfigurationError("lease_ttl_s must be positive")
         self.fleet = fleet
         self.registry = registry
+        self.journal = journal
+        # wall-clock TTL on a canary claim: a crashed process cannot hold
+        # the rollout slot forever, because recovery releases any journaled
+        # lease whose expires_at has passed
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.clock = clock
         telemetry = telemetry if telemetry is not None else getattr(fleet, "telemetry", None)
         if telemetry is None:
             raise ConfigurationError(
@@ -296,6 +342,18 @@ class RolloutController:
                 transfer_bytes=moved,
             )
             self.events.append(event)
+        if self.journal is not None:
+            # journaled before deploy() returns: an acknowledged baseline
+            # survives a crash, and recovery re-deploys the same version
+            self.journal.append(
+                ControlPlaneJournal.ROLLOUT_DEPLOY,
+                scenario=scenario,
+                algorithm=algorithm,
+                name=target.name,
+                version=target.version,
+                ref=target.ref,
+                fingerprint=target.fingerprint,
+            )
         if update_zoo:
             self._refresh_zoo(target)
         self.fleet.register_algorithm(scenario, algorithm, self.make_handler(scenario, algorithm))
@@ -365,12 +423,35 @@ class RolloutController:
             # claim the rollout slot before releasing the lock, so the
             # artifact pulls below cannot race a second begin(); the real
             # rollback target is captured at swap time below
+            granted_at = self.clock()
             claim = _ActiveRollout(
                 target=target, canary_id=canary, policy=policy,
                 baseline=baseline if baseline is not None else next(iter(table.values())),
                 stage="staging",
+                granted_at=granted_at,
+                expires_at=granted_at + self.lease_ttl_s,
             )
             self._rollouts[key] = claim
+            baseline_ref = claim.baseline.version.ref
+        # the claim becomes a durable *lease* before any staging work runs:
+        # a process killed between here and the first check() leaves a
+        # journaled lease for recovery to adjudicate (resume while the TTL
+        # holds, release after it) instead of a silently leaked claim
+        if self.journal is not None:
+            self.journal.append(
+                ControlPlaneJournal.ROLLOUT_LEASE,
+                scenario=scenario,
+                algorithm=algorithm,
+                name=target.name,
+                version=target.version,
+                ref=target.ref,
+                fingerprint=target.fingerprint,
+                canary=canary,
+                baseline_ref=baseline_ref,
+                policy=policy.as_dict(),
+                granted_at=claim.granted_at,
+                expires_at=claim.expires_at,
+            )
         # pull + profile outside the lock: request handlers resolve their
         # entry through it, and staging must not stall live traffic
         try:
@@ -400,6 +481,17 @@ class RolloutController:
                 )
                 if self._rollouts.get(key) is claim:  # release the claim; nothing was staged
                     del self._rollouts[key]
+            if self.journal is not None:
+                # the release is journaled too, so recovery never resumes
+                # a lease whose staging already failed in this life
+                self.journal.append(
+                    ControlPlaneJournal.ROLLOUT_LEASE_RELEASED,
+                    scenario=scenario,
+                    algorithm=algorithm,
+                    ref=target.ref,
+                    canary=canary,
+                    reason=f"staging-failed: {type(exc).__name__}",
+                )
             raise
         with self._lock:
             table = self._serving[key]
@@ -571,6 +663,19 @@ class RolloutController:
                 transfer_bytes=moved,
             )
             self.events.append(event)
+        if self.journal is not None:
+            # resolves the journaled lease: recovery treats a promote as
+            # both the lease's resolution and the new fleet-wide baseline
+            self.journal.append(
+                ControlPlaneJournal.ROLLOUT_PROMOTE,
+                scenario=scenario,
+                algorithm=algorithm,
+                name=target.name,
+                version=target.version,
+                ref=target.ref,
+                fingerprint=target.fingerprint,
+                canary=active.canary_id,
+            )
         # the fleet-wide swap starts every replica on a fresh window, and
         # the shared zoo now hands selection consumers the promoted build
         self.telemetry.reset(scenario, algorithm)
@@ -603,6 +708,18 @@ class RolloutController:
                 samples=samples,
             )
             self.events.append(event)
+            baseline_ref = baseline.version.ref
+        if self.journal is not None:
+            # resolves the journaled lease: after a crash the fleet must
+            # come back on the baseline, not retry the rejected canary
+            self.journal.append(
+                ControlPlaneJournal.ROLLOUT_ROLLBACK,
+                scenario=scenario,
+                algorithm=algorithm,
+                ref=active.target.ref,
+                baseline_ref=baseline_ref,
+                canary=active.canary_id,
+            )
         self.telemetry.reset(scenario, algorithm, active.canary_id)
         return event
 
@@ -683,6 +800,8 @@ class RolloutController:
                         "healthy_streak": active.healthy_streak,
                         "healthy_checks": active.policy.healthy_checks,
                         "min_samples": active.policy.min_samples,
+                        "granted_at": active.granted_at,
+                        "expires_at": active.expires_at,
                     }
                     for (scenario, algorithm), active in sorted(self._rollouts.items())
                 },

@@ -24,7 +24,7 @@ workers read :attr:`addresses`.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, ResourceNotFoundError
 from repro.serving.batching import BatchingConfig
@@ -40,12 +40,21 @@ class GatewaySupervisor:
         gateways: int = 2,
         host: str = "127.0.0.1",
         batching: Optional[BatchingConfig] = None,
+        recovery: Optional[Callable[[], object]] = None,
     ) -> None:
         if gateways <= 0:
             raise ConfigurationError("a supervisor needs at least one gateway")
         self.fleet = fleet
         self.host = host
         self.batching = batching
+        # the durable-control-plane hook, typically a closure over
+        # repro.serving.recovery.recover_control_plane: it runs before the
+        # first gateway binds and again on every restart(), so a replica
+        # that comes back always converges to the journaled fleet state
+        # before taking traffic.  It MUST be idempotent — and
+        # recover_control_plane is.
+        self.recovery = recovery
+        self.recoveries = 0  # guarded-by: _lock
         self._lock = threading.RLock()
         self._gateways: List[Optional[FleetGateway]] = []  # guarded-by: _lock
         # slot addresses are fixed at construction and never mutated, so
@@ -68,12 +77,26 @@ class GatewaySupervisor:
     # behind network I/O.
 
     def start(self) -> "GatewaySupervisor":
-        """Start every gateway that is not already serving."""
+        """Start every gateway that is not already serving.
+
+        When a recovery hook is configured it runs *first*: the journaled
+        control state (baseline deploys, telemetry, an open canary lease)
+        is restored before any gateway accepts a request.
+        """
+        self._recover()
         with self._lock:
             alive = [g for g in self._gateways if g is not None]
         for gateway in alive:
             gateway.start()
         return self
+
+    def _recover(self) -> None:
+        """Run the recovery hook outside the lock (it deploys models)."""
+        if self.recovery is None:
+            return
+        self.recovery()
+        with self._lock:
+            self.recoveries += 1
 
     def stop(self) -> None:
         """Stop every gateway that is still alive (idempotent)."""
@@ -160,6 +183,10 @@ class GatewaySupervisor:
             self._restarting.add(index)
             host, port = self._addresses[index]
         try:
+            # recovery runs before the replacement binds: a restarted
+            # replica converges to the journaled control state before it
+            # can take a single request (restart-into-recovery, ROADMAP 3)
+            self._recover()
             gateway = FleetGateway(self.fleet, host=host, port=port, batching=self.batching)
             gateway.start()
         except BaseException:
@@ -186,6 +213,7 @@ class GatewaySupervisor:
                 "alive": sum(1 for g in self._gateways if g is not None),
                 "kills": self.kills,
                 "restarts": self.restarts,
+                "recoveries": self.recoveries,
                 "slots": [
                     {"index": i, "address": list(self._addresses[i]),
                      "alive": self._gateways[i] is not None}

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.alem import ALEM, ALEMRequirement
+from repro.core.wal import ControlPlaneJournal
 from repro.exceptions import ConfigurationError
 
 #: The telemetry key: one window per (scenario, algorithm, replica).
@@ -122,10 +123,23 @@ class ALEMTelemetry:
     :class:`~repro.serving.adaptive.SLOPolicy`) before the controller acts.
     """
 
-    def __init__(self, window_size: int = 32) -> None:
+    def __init__(
+        self,
+        window_size: int = 32,
+        journal: Optional[ControlPlaneJournal] = None,
+        journal_every: int = 8,
+    ) -> None:
         if window_size <= 0:
             raise ConfigurationError("telemetry window_size must be positive")
+        if journal_every <= 0:
+            raise ConfigurationError("telemetry journal_every must be positive")
         self.window_size = int(window_size)
+        # every journal_every-th observation of a key snapshots its whole
+        # window into the WAL (journaling every observation would write
+        # one fsync per request); recovery restores the last snapshot and
+        # the first few live requests refresh the means
+        self.journal = journal
+        self.journal_every = int(journal_every)
         self._lock = threading.Lock()
         self._windows: Dict[TelemetryKey, TelemetryWindow] = {}  # guarded-by: _lock
 
@@ -141,6 +155,7 @@ class ALEMTelemetry:
     ) -> None:
         """Record one observation for ``(scenario, algorithm, replica)``."""
         key = (scenario, algorithm, replica)
+        snapshot = None
         with self._lock:
             window = self._windows.get(key)
             if window is None:
@@ -150,6 +165,22 @@ class ALEMTelemetry:
                 accuracy=accuracy,
                 energy_j=energy_j,
                 memory_mb=memory_mb,
+            )
+            if self.journal is not None and window.total_observations % self.journal_every == 0:
+                snapshot = {
+                    "samples": {axis: list(dq) for axis, dq in window.samples.items()},
+                    "total_observations": window.total_observations,
+                }
+        if snapshot is not None:
+            # appended outside the lock: the fsync must not serialize every
+            # concurrent gateway handler behind it, and the snapshot dict is
+            # already a private copy
+            self.journal.append(
+                ControlPlaneJournal.TELEMETRY_WINDOW,
+                scenario=scenario,
+                algorithm=algorithm,
+                replica=replica,
+                **snapshot,
             )
 
     def record_result(
@@ -228,6 +259,47 @@ class ALEMTelemetry:
             for (s, a, r), window in self._windows.items():
                 if s == scenario and a == algorithm and (replica is None or r == replica):
                     window.clear()
+        if self.journal is not None:
+            # journaled after the clear so a snapshot written between the
+            # two reflects at worst an already-empty window
+            self.journal.append(
+                ControlPlaneJournal.TELEMETRY_RESET,
+                scenario=scenario,
+                algorithm=algorithm,
+                replica=replica,
+            )
+
+    def restore_window(
+        self,
+        scenario: str,
+        algorithm: str,
+        replica: str,
+        samples: Dict[str, List[float]],
+        total_observations: int,
+    ) -> bool:
+        """Reinstate one journaled window snapshot after a restart.
+
+        Returns ``False`` (and restores nothing) when the key already has
+        live observations — replaying the WAL twice, or replaying it after
+        traffic resumed, must never clobber fresher measurements.
+        """
+        key = (scenario, algorithm, replica)
+        with self._lock:
+            window = self._windows.get(key)
+            if window is not None and window.total_observations > 0:
+                return False
+            restored = TelemetryWindow(maxlen=self.window_size)
+            for axis, values in samples.items():
+                if axis not in _AXES:
+                    raise ConfigurationError(
+                        f"unknown ALEM axis {axis!r} in telemetry snapshot"
+                    )
+                restored.samples[axis] = deque(
+                    (float(v) for v in values), maxlen=self.window_size
+                )
+            restored.total_observations = int(total_observations)
+            self._windows[key] = restored
+        return True
 
     def describe(self) -> Dict[str, object]:
         """Status summary surfaced through ``/ei_status``."""

@@ -1,0 +1,212 @@
+"""Crash-recovery suite: SIGKILL real writer processes, then recover.
+
+These tests spawn a child Python process that writes through the durable
+layer (blob store + WAL), hard-kill it with ``SIGKILL`` mid-write, and
+then reopen the on-disk state in this process to prove the recovery
+contract:
+
+* every write the child *acknowledged* (printed after the durable call
+  returned) survives;
+* a torn tail from the killed append is truncated cleanly on reopen;
+* no partial blob is ever visible — ``verify_all()`` re-hashes clean;
+* orphaned temp files are swept, never promoted to objects.
+
+Set ``REPRO_CRASH_ARTIFACT_DIR`` to persist each test's store/WAL
+directory (CI uploads it as an artifact when the job fails).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import uuid
+from pathlib import Path
+
+import pytest
+
+from repro.core.registry import ModelRegistry
+from repro.core.store import BlobStore
+from repro.core.wal import ControlPlaneJournal, WriteAheadLog
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def crash_dir(tmp_path: Path, name: str) -> Path:
+    """The durable-state directory for one test run.
+
+    Under ``REPRO_CRASH_ARTIFACT_DIR`` the directory outlives the test,
+    so a failing CI run uploads the exact store/WAL bytes that broke.
+    """
+    base = os.environ.get("REPRO_CRASH_ARTIFACT_DIR")
+    if base:
+        target = Path(base) / f"{name}-{uuid.uuid4().hex[:8]}"
+        target.mkdir(parents=True, exist_ok=True)
+        return target
+    return tmp_path
+
+
+def spawn_writer(workdir: Path, body: str) -> subprocess.Popen:
+    """Run a durable-writer child; its stdout acknowledges durable ops."""
+    script = workdir / "writer.py"
+    script.write_text(textwrap.dedent(body))
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    return subprocess.Popen(
+        [sys.executable, str(script), str(workdir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+
+
+def kill_after_acks(proc: subprocess.Popen, acks: int) -> list:
+    """Read ``acks`` acknowledgement lines, then SIGKILL mid-write."""
+    lines = []
+    assert proc.stdout is not None
+    for _ in range(acks):
+        line = proc.stdout.readline()
+        assert line, "writer exited before producing enough acknowledgements"
+        lines.append(line.strip())
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    assert proc.returncode == -signal.SIGKILL
+    return lines
+
+
+WAL_WRITER = """
+    import sys
+    from pathlib import Path
+    from repro.core.wal import WriteAheadLog
+
+    workdir = Path(sys.argv[1])
+    wal = WriteAheadLog(workdir / "events.wal")
+    seq = 0
+    while True:
+        # vary the size so the kill lands at many different byte offsets
+        wal.append({"seq": seq, "pad": "x" * (seq % 97)})
+        print(f"SYNCED {seq}", flush=True)
+        seq += 1
+"""
+
+
+def test_sigkill_mid_wal_append_loses_nothing_acknowledged(tmp_path):
+    workdir = crash_dir(tmp_path, "wal-append")
+    proc = spawn_writer(workdir, WAL_WRITER)
+    acks = kill_after_acks(proc, acks=50)
+    last_acked = int(acks[-1].split()[1])
+
+    recovered = WriteAheadLog(workdir / "events.wal")
+    # every acknowledged append survives; at most the in-flight record
+    # beyond the last ack was torn and truncated
+    assert recovered.recovered_records >= last_acked + 1
+    records = recovered.replay()
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    # the log is writable again after recovery
+    recovered.append({"seq": len(records)})
+    assert len(recovered.replay()) == len(records) + 1
+    recovered.close()
+
+
+PUBLISH_WRITER = """
+    import sys
+    from pathlib import Path
+    from repro.core.registry import ModelRegistry
+    from repro.core.store import BlobStore
+    from repro.core.wal import ControlPlaneJournal
+    from repro.nn.layers import Dense, ReLU, Softmax
+    from repro.nn.model import Sequential
+
+    workdir = Path(sys.argv[1])
+    store = BlobStore(workdir / "store")
+    journal = ControlPlaneJournal(workdir / "control.wal")
+    registry = ModelRegistry(store=store, journal=journal)
+    seed = 0
+    while True:
+        model = Sequential(
+            [Dense(6, 8, seed=seed), ReLU(), Dense(8, 3, seed=seed + 1), Softmax()],
+            name="crashy",
+        )
+        entry = registry.publish(
+            "crashy", model, task="image-classification", input_shape=(6,),
+        )
+        print(f"PUBLISHED {entry.version}", flush=True)
+        seed += 2
+"""
+
+
+def test_sigkill_mid_publish_leaves_no_partial_blob(tmp_path):
+    workdir = crash_dir(tmp_path, "publish")
+    proc = spawn_writer(workdir, PUBLISH_WRITER)
+    acks = kill_after_acks(proc, acks=4)
+    last_version = int(acks[-1].split()[1])
+
+    store = BlobStore(workdir / "store")
+    journal = ControlPlaneJournal(workdir / "control.wal")
+    registry = ModelRegistry.recover(store, journal)
+
+    # every acknowledged publish is pullable after recovery...
+    versions = registry.versions("crashy")
+    assert len(versions) >= last_version
+    for entry in versions:
+        blob = registry.pull_bytes("crashy", entry.version)
+        assert len(blob) > 0
+    # ...every blob on disk re-hashes to its address (no partial object
+    # was ever renamed into place)...
+    assert store.verify_all() >= last_version
+    # ...and any temp file the killed writer left behind was swept at
+    # open, not promoted
+    assert not [p for p in (workdir / "store" / "tmp").iterdir()]
+    journal.close()
+
+
+def test_recovered_registry_serves_byte_identical_models(tmp_path):
+    workdir = crash_dir(tmp_path, "byte-identical")
+    proc = spawn_writer(workdir, PUBLISH_WRITER)
+    acks = kill_after_acks(proc, acks=3)
+    last_version = int(acks[-1].split()[1])
+
+    # two independent recoveries must agree byte-for-byte
+    first = ModelRegistry.recover(
+        BlobStore(workdir / "store"), ControlPlaneJournal(workdir / "control.wal")
+    )
+    second = ModelRegistry.recover(
+        BlobStore(workdir / "store"), ControlPlaneJournal(workdir / "control.wal")
+    )
+    for version in range(1, last_version + 1):
+        assert first.pull_bytes("crashy", version) == second.pull_bytes("crashy", version)
+        assert (
+            first.get("crashy", version).fingerprint
+            == second.get("crashy", version).fingerprint
+        )
+
+
+def test_repeated_kill_recover_cycles_converge(tmp_path):
+    """Three kill → recover → resume cycles: the log stays replayable and
+    monotonic across every process life."""
+    workdir = crash_dir(tmp_path, "cycles")
+    total_acked = 0
+    for _ in range(3):
+        proc = spawn_writer(
+            workdir,
+            """
+            import sys
+            from pathlib import Path
+            from repro.core.wal import WriteAheadLog
+
+            workdir = Path(sys.argv[1])
+            wal = WriteAheadLog(workdir / "events.wal")
+            seq = len(wal.replay())
+            while True:
+                wal.append({"seq": seq})
+                print(f"SYNCED {seq}", flush=True)
+                seq += 1
+            """,
+        )
+        acks = kill_after_acks(proc, acks=10)
+        total_acked = int(acks[-1].split()[1]) + 1
+    wal = WriteAheadLog(workdir / "events.wal")
+    records = wal.replay()
+    assert len(records) >= total_acked
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    wal.close()

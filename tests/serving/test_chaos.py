@@ -26,7 +26,14 @@ import threading
 import pytest
 
 from repro.apps import register_all
-from repro.core import ALEMRequirement, ModelRegistry, ModelZoo, OptimizationTarget
+from repro.core import (
+    ALEMRequirement,
+    BlobStore,
+    ControlPlaneJournal,
+    ModelRegistry,
+    ModelZoo,
+    OptimizationTarget,
+)
 from repro.loadgen import (
     FaultInjector,
     FaultSpec,
@@ -47,6 +54,7 @@ from repro.serving import (
     RolloutPolicy,
     RoutingPolicy,
     SLOPolicy,
+    recover_control_plane,
 )
 
 FLEET = ["raspberry-pi-4", "jetson-tx2", "raspberry-pi-4", "jetson-tx2"]
@@ -297,3 +305,117 @@ def test_malformed_request_injection_is_rejected_without_collateral():
     malformed = [r for r in report.faults if r["action"] == "malformed-request"]
     assert len(malformed) == 2
     assert all(r["outcome"] == "applied" and r["rejected"] for r in malformed)
+
+
+# -- restart into recovery ---------------------------------------------------------
+
+def test_killed_replica_restarts_into_recovery_and_resumes_the_same_claim(tmp_path):
+    """The durable-control-plane acceptance scenario: kill a gateway hard
+    mid-canary under live trace traffic, throw the whole process state
+    away, and restart from nothing but the blob store and the WAL.  The
+    recovered fleet must converge to the *identical* rollout state (same
+    fingerprints, same canary claim), resolve that one claim exactly once
+    (no double-promote), and neither life drops a single request."""
+    store_root = tmp_path / "store"
+    wal_path = tmp_path / "control.wal"
+
+    # ---- life 1: publish durably, deploy v1, canary v2, die mid-canary ----
+    journal = ControlPlaneJournal(wal_path)
+    registry = ModelRegistry(store=BlobStore(store_root), journal=journal)
+    publish_classifier(registry, accuracy=0.90)
+    publish_classifier(registry, accuracy=0.93, scale=1.01, base=f"{MODEL}@1")
+
+    fleet = EdgeFleet.deploy(
+        FLEET, zoo=ModelZoo(),
+        telemetry=ALEMTelemetry(window_size=16, journal=journal),
+        policy=SeqRouter(),
+    )
+    rollout = RolloutController(fleet, registry, journal=journal, lease_ttl_s=300.0)
+    rollout.deploy("safety", "classify", MODEL, version=1)
+    rollout.begin("safety", "classify", version=2, policy=RolloutPolicy(
+        requirement=ALEMRequirement(min_accuracy=0.8),
+        min_samples=3, healthy_checks=2,
+    ))
+    pre_crash = rollout.describe()["rollouts"]["safety/classify"]
+    pre_crash_serving = {
+        e.instance_id: e.version.fingerprint
+        for e in rollout.serving("safety", "classify")
+    }
+    v1_bytes = registry.pull_bytes(MODEL, 1)
+    v2_bytes = registry.pull_bytes(MODEL, 2)
+
+    # no step() pumping in this life: the claim is mid-flight when the
+    # replica dies — exactly the leaked-claim window the lease fix covers
+    trace = constant_trace(
+        duration_s=4.0, rps=20.0, seed=21, name="chaos-crash-recovery",
+        scenario_mix={"safety": 1.0}, algorithms={"safety": "classify"},
+    ).with_faults([
+        FaultSpec(at_s=2.0, action="kill-gateway", target=0),  # never restarted
+    ])
+    with GatewaySupervisor(fleet, gateways=2) as supervisor:
+        # retries=2: a request racing the kill instant can lose on both
+        # addresses in one pass (refused on the closed socket, reset on
+        # the in-flight one); extra passes turn that into a latency bump
+        # on the surviving gateway instead of an error.
+        client = LibEIClient(
+            supervisor.addresses, timeout_s=10.0, retries=2, backoff_s=0.05
+        )
+        injector = FaultInjector(fleet=fleet, supervisor=supervisor, client=client)
+        harness = OpenLoopHarness(
+            client_sender(client), time_scale=0.05, max_workers=16,
+            fault_injector=injector,
+        )
+        report = harness.run(trace)
+        assert report.error_count == 0, report.overall.errors[:5]
+        assert report.overall.completed == len(trace)
+    journal.close()  # kill -9 closes the fd; the WAL needs no clean shutdown
+
+    # ---- life 2: a brand-new process life from the on-disk state only ----
+    journal2 = ControlPlaneJournal(wal_path)
+    registry2 = ModelRegistry.recover(BlobStore(store_root), journal2)
+    # acknowledged publishes survived byte-identically
+    assert registry2.pull_bytes(MODEL, 1) == v1_bytes
+    assert registry2.pull_bytes(MODEL, 2) == v2_bytes
+
+    fleet2 = EdgeFleet.deploy(
+        FLEET, zoo=ModelZoo(),
+        telemetry=ALEMTelemetry(window_size=16, journal=journal2),
+        policy=SeqRouter(),
+    )
+    rollout2 = RolloutController(fleet2, registry2, journal=journal2, lease_ttl_s=300.0)
+    recovery = lambda: recover_control_plane(fleet2, registry2, journal2, rollout=rollout2)
+
+    trace2 = constant_trace(
+        duration_s=4.0, rps=20.0, seed=22, name="chaos-recovered",
+        scenario_mix={"safety": 1.0}, algorithms={"safety": "classify"},
+    )
+    with GatewaySupervisor(fleet2, gateways=2, recovery=recovery) as supervisor2:
+        # restart-into-recovery ran before the first request: the fleet
+        # converged to the pre-crash rollout state — same target, same
+        # canary replica, same per-replica fingerprints
+        recovered = rollout2.describe()["rollouts"]["safety/classify"]
+        assert recovered["stage"] == "canary"
+        assert recovered["target"] == pre_crash["target"]
+        assert recovered["canary"] == pre_crash["canary"]
+        assert {
+            e.instance_id: e.version.fingerprint
+            for e in rollout2.serving("safety", "classify")
+        } == pre_crash_serving
+
+        client2 = LibEIClient(supervisor2.addresses, timeout_s=10.0)
+        harness2 = OpenLoopHarness(
+            client_sender(client2), time_scale=0.05, max_workers=16,
+            on_response=serialized(rollout2.step),
+        )
+        report2 = harness2.run(trace2)
+        assert report2.error_count == 0, report2.overall.errors[:5]
+        assert report2.overall.completed == len(trace2)
+
+    # the one recovered claim resolved exactly once, fleet-wide on v2
+    assert rollout2.stats.promotions == 1
+    assert rollout.stats.promotions == 0  # life 1 never got to promote
+    assert all(
+        entry.version.ref == f"{MODEL}@2"
+        for entry in rollout2.serving("safety", "classify")
+    )
+    journal2.close()
