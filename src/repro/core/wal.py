@@ -27,6 +27,18 @@ record — those events were never acknowledged as durable, so dropping
 them is correct.  A checksum failure *before* the tail is different:
 everything after it would be silently lost, so that raises
 :class:`~repro.exceptions.WALCorruptionError` instead of guessing.
+
+**Durability classes.**  Not every event earns an fsync on the thread
+that produced it.  Control events (publishes, rollout transitions) are
+*strict*: ``append`` fsyncs before returning, so an acknowledged event
+survives power loss.  Observational events (telemetry snapshots, drift
+calibration) ride request-handler threads, where a synchronous fsync
+becomes tail latency for live traffic — they append *relaxed*
+(``sync=False``): the bytes reach the OS page cache (surviving
+``kill -9`` of the process) but are only fsynced by the next strict
+append, an explicit :meth:`WriteAheadLog.flush`, or :meth:`close`.  An
+OS crash can lose the most recent relaxed records; recovery tolerates
+that — the windows refill from live traffic in a few requests.
 """
 
 from __future__ import annotations
@@ -138,6 +150,14 @@ class WriteAheadLog:
     corruption raises :class:`~repro.exceptions.WALCorruptionError`.
     Appends are serialized under a lock and (by default) fsynced, so an
     acknowledged :meth:`append` survives ``kill -9``.
+
+    ``append(..., sync=False)`` is the relaxed path for observational
+    events produced on request-handler threads: the record is written
+    and flushed to the OS (durable against process death) but not
+    fsynced, so the handler never waits on the disk.  Pending relaxed
+    bytes are made fully durable by the next ``sync=True`` append
+    (fsync covers the whole file), an explicit :meth:`flush`, or
+    :meth:`close`.
     """
 
     def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
@@ -159,21 +179,45 @@ class WriteAheadLog:
         self._file = open(self.path, "ab")  # guarded-by: _lock
         self._records = len(records)  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
+        #: relaxed bytes written since the last fsync
+        self._pending_sync = False  # guarded-by: _lock
 
     # -- writing ------------------------------------------------------------------
-    def append(self, payload: Mapping[str, object]) -> int:
-        """Durably append one event; returns its byte offset in the log."""
+    def append(self, payload: Mapping[str, object], sync: Optional[bool] = None) -> int:
+        """Append one event; returns its byte offset in the log.
+
+        ``sync=True`` (the default when the log was opened with
+        ``fsync=True``) fsyncs before returning — and, because fsync
+        covers the whole file, also hardens any pending relaxed records.
+        ``sync=False`` skips the fsync: the record reaches the OS page
+        cache (survives ``kill -9``) but not necessarily the platter.
+        """
         blob = encode_record(payload)
+        if sync is None:
+            sync = self.fsync
         with self._lock:
             if self._closed:
                 raise WALError(f"append to closed WAL {self.path}")
             offset = self._file.tell()
             self._file.write(blob)
             self._file.flush()
-            if self.fsync:
+            if sync and self.fsync:
                 os.fsync(self._file.fileno())
+                self._pending_sync = False
+            else:
+                self._pending_sync = True
             self._records += 1
         return offset
+
+    def flush(self) -> None:
+        """Harden any pending relaxed appends (no-op when none are pending)."""
+        with self._lock:
+            if self._closed or not self._pending_sync:
+                return
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            self._pending_sync = False
 
     # -- reading ------------------------------------------------------------------
     def replay(self) -> List[Dict[str, object]]:
@@ -204,7 +248,12 @@ class WriteAheadLog:
                 return
             self._closed = True
             handle = self._file
+            pending = self._pending_sync
+            self._pending_sync = False
         handle.flush()
+        if pending and self.fsync:
+            # a clean shutdown loses no relaxed records
+            os.fsync(handle.fileno())
         handle.close()
 
     def __enter__(self) -> "WriteAheadLog":
@@ -221,6 +270,7 @@ class WriteAheadLog:
                 "recovered_records": self.recovered_records,
                 "truncated_bytes": self.truncated_bytes,
                 "fsync": self.fsync,
+                "pending_sync": self._pending_sync,
             }
 
 
@@ -265,27 +315,74 @@ class ControlPlaneJournal:
         ROLLOUT_ROLLBACK,
     )
 
-    def __init__(self, wal: Union[WriteAheadLog, str, Path], fsync: bool = True) -> None:
+    #: Observational events appended without a synchronous fsync: they are
+    #: produced on request-handler threads (telemetry snapshots ride every
+    #: Nth gateway call, calibration rides the adaptive check), where an
+    #: fsync is tail latency for live traffic.  Page-cache durability still
+    #: covers ``kill -9``; an OS crash loses at most the newest snapshots,
+    #: which live traffic regenerates within one window.  Control events —
+    #: publishes, deploys, leases, promotes, rollbacks — stay strict: the
+    #: correctness of recovery adjudication depends on them.
+    RELAXED_EVENTS = frozenset((TELEMETRY_WINDOW, TELEMETRY_RESET, CALIBRATION))
+
+    def __init__(
+        self,
+        wal: Union[WriteAheadLog, str, Path],
+        fsync: bool = True,
+        flush_interval_s: Optional[float] = None,
+    ) -> None:
         if not isinstance(wal, WriteAheadLog):
             wal = WriteAheadLog(wal, fsync=fsync)
         self.wal = wal
+        if flush_interval_s is not None and flush_interval_s <= 0:
+            raise WALError("flush_interval_s must be positive when given")
+        self.flush_interval_s = flush_interval_s
+        self._stop_flusher = threading.Event()
+        self._flusher: Optional[threading.Thread] = None
+        if flush_interval_s is not None:
+            # bounds how long a relaxed event can sit un-fsynced without
+            # ever putting an fsync on a request-handler thread
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="wal-flusher", daemon=True
+            )
+            self._flusher.start()
+
+    def _flush_loop(self) -> None:
+        # flush() on a closed WAL is a silent no-op, so the loop cannot
+        # race close(): it just stops doing work until the stop event fires
+        while not self._stop_flusher.wait(self.flush_interval_s):
+            self.wal.flush()
 
     def append(self, event_type: str, **fields: object) -> Dict[str, object]:
-        """Journal one typed event; returns the full record as written."""
+        """Journal one typed event; returns the full record as written.
+
+        Events in :data:`RELAXED_EVENTS` append without a synchronous
+        fsync (see :meth:`WriteAheadLog.append`); every other event is
+        fsynced before this returns — which also hardens any relaxed
+        records still pending, preserving total order durability.
+        """
         if event_type not in self.EVENT_TYPES:
             raise WALError(
                 f"unknown control-plane event type {event_type!r}; "
                 f"expected one of {self.EVENT_TYPES}"
             )
         event: Dict[str, object] = {"type": event_type, "ts": time.time(), **fields}
-        self.wal.append(event)
+        self.wal.append(event, sync=event_type not in self.RELAXED_EVENTS)
         return event
+
+    def flush(self) -> None:
+        """Harden any pending relaxed events (delegates to the WAL)."""
+        self.wal.flush()
 
     def replay(self) -> List[Dict[str, object]]:
         """Every journaled event in order (torn tail already truncated)."""
         return self.wal.replay()
 
     def close(self) -> None:
+        self._stop_flusher.set()
+        if self._flusher is not None:
+            self._flusher.join()
+            self._flusher = None
         self.wal.close()
 
     def __enter__(self) -> "ControlPlaneJournal":

@@ -146,6 +146,107 @@ def test_journal_stamps_type_and_rejects_unknown_events(tmp_path):
         assert replayed[0]["type"] == ControlPlaneJournal.ROLLOUT_DEPLOY
 
 
+def _count_fsyncs(monkeypatch):
+    """Patch the WAL module's os.fsync to count calls (still durable)."""
+    import os as _os
+
+    import repro.core.wal as wal_module
+
+    calls = []
+    real_fsync = _os.fsync
+
+    def counting_fsync(fd):
+        calls.append(fd)
+        real_fsync(fd)
+
+    monkeypatch.setattr(wal_module.os, "fsync", counting_fsync)
+    return calls
+
+
+def test_relaxed_append_defers_fsync_to_strict_append(tmp_path, monkeypatch):
+    calls = _count_fsyncs(monkeypatch)
+    with WriteAheadLog(tmp_path / "events.wal") as wal:
+        for i in range(3):
+            wal.append({"seq": i}, sync=False)
+        assert calls == []  # nothing fsynced on the relaxed path
+        assert wal.describe()["pending_sync"] is True
+        wal.append({"seq": 3}, sync=True)
+        assert len(calls) == 1  # one fsync hardened all four records
+        assert wal.describe()["pending_sync"] is False
+        assert [r["seq"] for r in wal.replay()] == [0, 1, 2, 3]
+
+
+def test_flush_hardens_pending_relaxed_records(tmp_path, monkeypatch):
+    calls = _count_fsyncs(monkeypatch)
+    with WriteAheadLog(tmp_path / "events.wal") as wal:
+        wal.append({"seq": 0}, sync=False)
+        wal.flush()
+        assert len(calls) == 1
+        wal.flush()  # nothing pending: no second fsync
+        assert len(calls) == 1
+
+
+def test_close_fsyncs_pending_relaxed_records(tmp_path, monkeypatch):
+    calls = _count_fsyncs(monkeypatch)
+    wal = WriteAheadLog(tmp_path / "events.wal")
+    wal.append({"seq": 0}, sync=False)
+    wal.close()
+    assert len(calls) == 1  # a clean shutdown loses no relaxed records
+    reopened = WriteAheadLog(tmp_path / "events.wal")
+    assert reopened.recovered_records == 1
+    reopened.close()
+
+
+def test_relaxed_append_with_fsync_disabled_never_syncs(tmp_path, monkeypatch):
+    calls = _count_fsyncs(monkeypatch)
+    with WriteAheadLog(tmp_path / "events.wal", fsync=False) as wal:
+        wal.append({"seq": 0}, sync=False)
+        wal.append({"seq": 1}, sync=True)
+        wal.flush()
+    assert calls == []
+
+
+def test_journal_relaxed_events_skip_the_request_path_fsync(tmp_path, monkeypatch):
+    calls = _count_fsyncs(monkeypatch)
+    with ControlPlaneJournal(tmp_path / "control.wal") as journal:
+        journal.append(ControlPlaneJournal.TELEMETRY_WINDOW, scenario="s",
+                       algorithm="a", replica="r", samples={}, total_observations=8)
+        journal.append(ControlPlaneJournal.CALIBRATION, scenario="s",
+                       algorithm="a", replica="r", drift=1.2)
+        journal.append(ControlPlaneJournal.TELEMETRY_RESET, scenario="s",
+                       algorithm="a", replica=None)
+        assert calls == []  # observational events never fsync inline
+        journal.append(ControlPlaneJournal.ROLLOUT_PROMOTE, ref="m@1")
+        assert len(calls) == 1  # the control event hardened all four
+        types = [r["type"] for r in journal.replay()]
+        assert types == [
+            ControlPlaneJournal.TELEMETRY_WINDOW,
+            ControlPlaneJournal.CALIBRATION,
+            ControlPlaneJournal.TELEMETRY_RESET,
+            ControlPlaneJournal.ROLLOUT_PROMOTE,
+        ]
+
+
+def test_journal_background_flusher_hardens_relaxed_events(tmp_path, monkeypatch):
+    import time as _time
+
+    calls = _count_fsyncs(monkeypatch)
+    journal = ControlPlaneJournal(tmp_path / "control.wal", flush_interval_s=0.01)
+    journal.append(ControlPlaneJournal.CALIBRATION, scenario="s",
+                   algorithm="a", replica="r", drift=0.9)
+    deadline = _time.monotonic() + 5.0
+    while not calls and _time.monotonic() < deadline:
+        _time.sleep(0.005)
+    assert calls, "background flusher never fsynced the pending relaxed event"
+    journal.close()
+    assert journal.describe()["pending_sync"] is False
+
+
+def test_journal_rejects_non_positive_flush_interval(tmp_path):
+    with pytest.raises(WALError):
+        ControlPlaneJournal(tmp_path / "control.wal", flush_interval_s=0.0)
+
+
 def test_journal_accepts_existing_wal_instance(tmp_path):
     wal = WriteAheadLog(tmp_path / "control.wal")
     journal = ControlPlaneJournal(wal)

@@ -221,6 +221,30 @@ def test_telemetry_windows_recover_but_never_clobber_live_observations(tmp_path)
     journal2.close()
 
 
+def test_journaled_telemetry_never_fsyncs_on_the_recording_thread(tmp_path, monkeypatch):
+    """Regression: a telemetry snapshot rides a request-handler thread, so
+    its journal append must not fsync inline — that fsync would be tail
+    latency for live traffic (the serving_tail bench's p99)."""
+    import repro.core.wal as wal_module
+
+    _, journal, _, telemetry, _, _ = _life(tmp_path)
+    calls = []
+    real_fsync = wal_module.os.fsync
+    monkeypatch.setattr(wal_module.os, "fsync",
+                        lambda fd: (calls.append(fd), real_fsync(fd)))
+    for i in range(8):  # journal_every=4 → two snapshots journaled
+        telemetry.record(SCENARIO, ALGORITHM, "edge-0@raspberry-pi-4",
+                         latency_s=0.02 + i * 0.001)
+    telemetry.reset(SCENARIO, ALGORITHM)
+    assert calls == []  # snapshots and resets landed without one fsync
+    # the snapshots are still on disk for recovery (page-cache durable)
+    types = [r["type"] for r in journal.replay()]
+    assert types.count(ControlPlaneJournal.TELEMETRY_WINDOW) == 2
+    assert types.count(ControlPlaneJournal.TELEMETRY_RESET) == 1
+    journal.close()
+    assert len(calls) == 1  # close hardened the pending relaxed records
+
+
 def test_calibration_drift_recovers_into_the_adaptive_controller(tmp_path):
     _, journal, _, _, fleet, _ = _life(tmp_path)
     # journal two calibration events directly (the drift values a crashed
